@@ -1,0 +1,37 @@
+"""Ablation: crack-in-three versus two successive crack-in-twos.
+
+The paper proposes the three-way Ξ crack for double-sided ranges (§3.1);
+this ablation measures what it buys over the naive composition on a
+whole homerun sequence.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_ROWS
+from repro.benchmark.profiles import MQS, homerun_sequence
+from repro.core.cracked_column import CrackedColumn
+
+STEPS = 24
+
+
+@pytest.mark.parametrize("three_way", [True, False], ids=["crack3", "2x_crack2"])
+def test_ablation_double_sided_strategy(benchmark, tapestry, three_way):
+    mqs = MQS(alpha=2, n=BENCH_ROWS, k=STEPS, sigma=0.05, rho="linear")
+    queries = homerun_sequence(mqs, attr="a", seed=0)
+
+    def setup():
+        column = CrackedColumn(
+            tapestry.build_relation("R").column("a"),
+            crack_in_three_enabled=three_way,
+        )
+        return (column,), {}
+
+    def sequence(column):
+        total = 0
+        for query in queries:
+            total += column.range_select(
+                query.low, query.high, high_inclusive=True
+            ).count
+        return total
+
+    benchmark.pedantic(sequence, setup=setup, rounds=3, iterations=1)

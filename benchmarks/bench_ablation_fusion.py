@@ -1,0 +1,54 @@
+"""Ablation: cracker-index size control (piece fusion policies).
+
+§3.2: "the cracker index grows quickly and becomes the target of a
+resource management challenge."  This ablation compares unbounded
+cracking against a bounded index with fusion, over a long random-range
+workload — measuring the time cost of re-cracking fused pieces.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_ROWS
+from repro.core.cracked_column import CrackedColumn
+from repro.core.optimizer import (
+    BoundedPiecesStrategy,
+    CrackingOptimizer,
+    EagerStrategy,
+    LazyThresholdStrategy,
+)
+
+QUERIES = 200
+
+STRATEGIES = {
+    "eager_unbounded": EagerStrategy,
+    "bounded_64_pieces": lambda: BoundedPiecesStrategy(max_pieces=64),
+    "lazy_block_cutoff": lambda: LazyThresholdStrategy(min_piece_size=1024),
+}
+
+
+def _workload(seed=0):
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(1, BENCH_ROWS - 2000, QUERIES)
+    spans = rng.integers(100, 2000, QUERIES)
+    return list(zip(lows.tolist(), (lows + spans).tolist()))
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGIES))
+def test_ablation_fusion_policy(benchmark, tapestry, strategy_name):
+    workload = _workload()
+
+    def setup():
+        column = CrackedColumn(tapestry.build_relation("R").column("a"))
+        optimizer = CrackingOptimizer(column, STRATEGIES[strategy_name]())
+        return (optimizer,), {}
+
+    def sequence(optimizer):
+        total = 0
+        for low, high in workload:
+            total += optimizer.range_select(low, high, high_inclusive=True).count
+        return optimizer.column.piece_count
+
+    pieces = benchmark.pedantic(sequence, setup=setup, rounds=3, iterations=1)
+    if strategy_name == "bounded_64_pieces":
+        assert pieces <= 64

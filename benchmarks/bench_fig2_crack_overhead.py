@@ -1,0 +1,32 @@
+"""Figure 2 benchmark: the §2.2 vector simulation (write overhead)."""
+
+import pytest
+
+from repro.simulation.vector_sim import (
+    VectorCrackingSimulation,
+    fractional_write_overhead,
+)
+
+GRANULES = 200_000
+STEPS = 20
+
+
+@pytest.mark.parametrize("selectivity", [0.01, 0.05, 0.20, 0.80])
+def test_fig2_write_overhead_series(benchmark, selectivity):
+    series = benchmark(
+        fractional_write_overhead, GRANULES, STEPS, selectivity, 0, 3
+    )
+    # Shape guard: starts at ~full rewrite, decays.
+    assert series[0] == pytest.approx(1.0, abs=0.05)
+    assert series[-1] < series[0]
+
+
+def test_fig2_single_query_step(benchmark):
+    """Cost of one simulated query step on a well-cracked vector."""
+    sim = VectorCrackingSimulation(GRANULES, seed=1)
+    sim.run(50, 0.05)
+
+    def step():
+        return sim.run_query(99, 0.05).moved
+
+    benchmark(step)

@@ -1,0 +1,18 @@
+"""Figure 3 benchmark: accumulated crack-vs-scan cost ratio."""
+
+import pytest
+
+from repro.simulation.vector_sim import accumulated_cost_ratio
+
+GRANULES = 200_000
+STEPS = 20
+
+
+@pytest.mark.parametrize("selectivity", [0.05, 0.20, 0.80])
+def test_fig3_accumulated_ratio(benchmark, selectivity):
+    ratio = benchmark(
+        accumulated_cost_ratio, GRANULES, STEPS, selectivity, 0, 3
+    )
+    assert ratio[0] > 1.0  # investment phase
+    if selectivity <= 0.20:
+        assert min(ratio) < 1.0  # break-even within 20 steps

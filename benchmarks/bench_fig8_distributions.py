@@ -1,0 +1,12 @@
+"""Figure 8 benchmark: evaluating the ρ contraction functions."""
+
+import pytest
+
+from repro.benchmark.distributions import DISTRIBUTIONS, selectivity_series
+
+
+@pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+def test_fig8_series_evaluation(benchmark, name):
+    series = benchmark(selectivity_series, name, 128, 0.2)
+    assert len(series) == 128
+    assert series[-1] == pytest.approx(0.2, abs=1e-6)

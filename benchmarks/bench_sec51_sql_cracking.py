@@ -1,0 +1,62 @@
+"""§5.1 benchmarks: SQL-level cracking cost decomposition.
+
+Times the four cost components the paper's MySQL example walks through:
+plain query (print), query + temp-table store, the full SQL-level
+cracking step, and an upfront sort.
+"""
+
+import pytest
+
+from repro.benchmark.tapestry import DBtapestry
+from repro.engines import RowStoreEngine, SQLCrackingEngine
+
+ROWS = 20_000
+HIGH = round(0.05 * ROWS)
+
+
+@pytest.fixture(scope="module")
+def small_tapestry():
+    return DBtapestry(ROWS, arity=2, seed=0)
+
+
+def test_sec51_query_print(benchmark, small_tapestry):
+    engine = RowStoreEngine()
+    engine.load(small_tapestry.build_relation("R"))
+
+    def query():
+        return engine.range_query("R", "a", 1, HIGH, delivery="print").rows
+
+    assert benchmark(query) == HIGH
+
+
+def test_sec51_query_materialise(benchmark, small_tapestry):
+    engine = RowStoreEngine()
+    engine.load(small_tapestry.build_relation("R"))
+
+    def query():
+        return engine.range_query("R", "a", 1, HIGH, delivery="materialise").rows
+
+    assert benchmark(query) == HIGH
+
+
+def test_sec51_cracking_step(benchmark, small_tapestry):
+    def setup():
+        engine = SQLCrackingEngine()
+        engine.load(small_tapestry.build_relation("R"))
+        return (engine,), {}
+
+    def crack(engine):
+        return engine.range_query("R", "a", 1, HIGH, delivery="materialise").rows
+
+    rows = benchmark.pedantic(crack, setup=setup, rounds=3, iterations=1)
+    assert rows == HIGH
+
+
+def test_sec51_sort_investment(benchmark, small_tapestry):
+    def setup():
+        return (small_tapestry.build_relation("R").column("a"),), {}
+
+    def sort(bat):
+        bat.sort_by_tail()
+
+    benchmark.pedantic(sort, setup=setup, rounds=3, iterations=1)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the pytest-benchmark harness.
+
+Sizes are chosen so the full ``pytest benchmarks/ --benchmark-only`` run
+finishes in a few minutes while preserving every figure's shape; the
+``repro.experiments`` modules run the full-size versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.tapestry import DBtapestry
+
+BENCH_ROWS = 100_000
+JOIN_ROWS = 200
+
+
+@pytest.fixture(scope="session")
+def tapestry():
+    """A session-wide tapestry generator (relations are rebuilt per use)."""
+    return DBtapestry(BENCH_ROWS, arity=2, seed=0)
+
+
+@pytest.fixture(scope="session")
+def join_tapestry():
+    """A small tapestry for join-chain benchmarks."""
+    return DBtapestry(JOIN_ROWS, arity=2, seed=0)

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and an older
+setuptools, so PEP 517 editable installs fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``pip install -e .`` on modern toolchains) work everywhere.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

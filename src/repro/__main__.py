@@ -1,0 +1,68 @@
+"""Command-line entry point: run the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # show available experiments
+    python -m repro fig2                 # run one experiment (full size)
+    python -m repro all --quick          # all experiments, reduced sizes
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    hiking,
+    report,
+    sec51,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "sec51": sec51,
+    "hiking": hiking,
+    "report": report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("Reproduction of 'Cracking the Database Store' (CIDR 2005).")
+        print("Experiments:")
+        for name, module in EXPERIMENTS.items():
+            first_line = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<8} {first_line}")
+        print("\nRun: python -m repro <experiment> [--quick] [--rows N]")
+        print("     python -m repro all [--quick]")
+        return 0
+    target, *rest = argv
+    if target == "all":
+        for name, module in EXPERIMENTS.items():
+            print(f"===== {name} =====")
+            module.main(rest)
+            print()
+        return 0
+    module = EXPERIMENTS.get(target)
+    if module is None:
+        print(f"unknown experiment {target!r}; try: python -m repro list")
+        return 2
+    module.main(rest)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

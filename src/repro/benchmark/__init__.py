@@ -1,0 +1,60 @@
+"""The multi-query benchmark kit of §4: DBtapestry, ρ/δ, profiles, runner."""
+
+from repro.benchmark.distributions import (
+    DISTRIBUTIONS,
+    delta_series,
+    exponential,
+    get_distribution,
+    linear,
+    logarithmic,
+    selectivity_series,
+)
+from repro.benchmark.profiles import (
+    MQS,
+    PROFILE_HIKING,
+    PROFILE_HOMERUN,
+    PROFILE_STROLLING,
+    PROFILES,
+    RangeQuery,
+    generate_sequence,
+    hiking_sequence,
+    homerun_sequence,
+    strolling_sequence,
+)
+from repro.benchmark.runner import (
+    SequenceResult,
+    StepMetrics,
+    compare_engines,
+    run_sequence,
+)
+from repro.benchmark.tapestry import DBtapestry, column_names
+from repro.benchmark.workloads import WorkloadPreset, get_workload, paper_workloads
+
+__all__ = [
+    "DBtapestry",
+    "DISTRIBUTIONS",
+    "MQS",
+    "PROFILES",
+    "PROFILE_HIKING",
+    "PROFILE_HOMERUN",
+    "PROFILE_STROLLING",
+    "RangeQuery",
+    "SequenceResult",
+    "StepMetrics",
+    "column_names",
+    "compare_engines",
+    "delta_series",
+    "exponential",
+    "generate_sequence",
+    "get_distribution",
+    "hiking_sequence",
+    "homerun_sequence",
+    "linear",
+    "logarithmic",
+    "run_sequence",
+    "selectivity_series",
+    "strolling_sequence",
+    "WorkloadPreset",
+    "get_workload",
+    "paper_workloads",
+]

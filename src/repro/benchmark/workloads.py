@@ -1,0 +1,97 @@
+"""Canned multi-query workloads: the paper's experiment presets.
+
+The MQS space is big; these presets pin down the exact configurations the
+paper's figures use, so experiments, benchmarks and downstream users share
+one source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmark.profiles import MQS, RangeQuery, generate_sequence
+from repro.errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class WorkloadPreset:
+    """A named, fully parameterised multi-query workload.
+
+    Attributes:
+        name: preset identifier.
+        profile: homerun / hiking / strolling.
+        mqs: the sequence-space point.
+        description: where in the paper this configuration appears.
+    """
+
+    name: str
+    profile: str
+    mqs: MQS
+    description: str
+
+    def generate(self, attr: str = "a", seed: int = 0, **kwargs) -> list[RangeQuery]:
+        """Instantiate the concrete query sequence."""
+        return generate_sequence(self.profile, self.mqs, attr=attr, seed=seed, **kwargs)
+
+
+def _presets(n_rows: int, steps: int) -> dict[str, WorkloadPreset]:
+    return {
+        "fig10_homerun_75": WorkloadPreset(
+            name="fig10_homerun_75",
+            profile="homerun",
+            mqs=MQS(alpha=2, n=n_rows, k=steps, sigma=0.75, rho="linear"),
+            description="Figure 10: linear homerun to a 75% target",
+        ),
+        "fig10_homerun_45": WorkloadPreset(
+            name="fig10_homerun_45",
+            profile="homerun",
+            mqs=MQS(alpha=2, n=n_rows, k=steps, sigma=0.45, rho="linear"),
+            description="Figure 10: linear homerun to a 45% target",
+        ),
+        "fig10_homerun_5": WorkloadPreset(
+            name="fig10_homerun_5",
+            profile="homerun",
+            mqs=MQS(alpha=2, n=n_rows, k=steps, sigma=0.05, rho="linear"),
+            description="Figure 10: linear homerun to a 5% target",
+        ),
+        "fig11_strolling_5": WorkloadPreset(
+            name="fig11_strolling_5",
+            profile="strolling",
+            mqs=MQS(alpha=2, n=n_rows, k=steps, sigma=0.05, rho="linear"),
+            description="Figure 11: strolling converge to a 5% target",
+        ),
+        "hiking_5": WorkloadPreset(
+            name="hiking_5",
+            profile="hiking",
+            mqs=MQS(alpha=2, n=n_rows, k=steps, sigma=0.05, rho="linear"),
+            description="§4 hiking profile: drifting 5% window (supplementary)",
+        ),
+        "drilldown_exponential": WorkloadPreset(
+            name="drilldown_exponential",
+            profile="homerun",
+            mqs=MQS(alpha=2, n=n_rows, k=steps, sigma=0.02, rho="exponential"),
+            description="§4 datamining drill-down: fast early trim to 2%",
+        ),
+    }
+
+
+def paper_workloads(
+    n_rows: int = 1_000_000, steps: int = 128
+) -> dict[str, WorkloadPreset]:
+    """The paper's figure workloads, parameterised by table size and length."""
+    if n_rows < 1 or steps < 1:
+        raise BenchmarkError(f"invalid workload size: N={n_rows}, k={steps}")
+    return _presets(n_rows, steps)
+
+
+def get_workload(
+    name: str, n_rows: int = 1_000_000, steps: int = 128
+) -> WorkloadPreset:
+    """Look up a preset by name."""
+    presets = paper_workloads(n_rows=n_rows, steps=steps)
+    try:
+        return presets[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown workload {name!r}; have {sorted(presets)}"
+        ) from None

@@ -1,0 +1,268 @@
+"""The cracker index: piece administration for a cracked column.
+
+The paper (§3.2) proposes a main-memory *cracker index* instead of catalog
+partitions: "for each piece [it] keeps track of the (min,max) bounds of the
+(range) attributes, its size, and its location in the database".  MonetDB's
+prototype organises it as a decorated interval tree (§5.2).
+
+We represent the index as a sorted sequence of *boundaries*.  A boundary
+``(value, kind, position)`` asserts that every tuple stored before
+``position`` is on the left of the pivot:
+
+* kind ``'lt'``: positions ``< position`` hold values ``< value``;
+* kind ``'le'``: positions ``< position`` hold values ``<= value``.
+
+Consecutive boundaries delimit *pieces*; each piece knows its value range
+and its location ``[start, stop)`` inside the cracker column — exactly the
+(min,max)/size/location triple of the paper.  Python's ``bisect`` over a
+sorted key list plays the role of the interval-tree navigation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.core.crack import KIND_LE, KIND_LT
+from repro.errors import CrackerIndexError
+
+#: Sort rank of boundary kinds at equal values: (v,'lt') precedes (v,'le')
+#: because the region < v is a prefix of the region <= v.
+_KIND_RANK = {KIND_LT: 0, KIND_LE: 1}
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """One crack boundary: left side is ``< value`` (lt) or ``<= value`` (le)."""
+
+    value: float
+    kind: str
+    position: int
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.value, _KIND_RANK[self.kind])
+
+
+@dataclass(frozen=True)
+class Piece:
+    """A contiguous piece of the cracker column.
+
+    Attributes:
+        start: first storage position of the piece.
+        stop: one past the last storage position.
+        lower: the boundary on the piece's left, or None at the column head.
+        upper: the boundary on the piece's right, or None at the column tail.
+    """
+
+    start: int
+    stop: int
+    lower: Boundary | None
+    upper: Boundary | None
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def describes(self) -> str:
+        """Human-readable value-range description (for catalog displays)."""
+        left = "-inf" if self.lower is None else (
+            f"{'>=' if self.lower.kind == KIND_LT else '>'}{self.lower.value}"
+        )
+        right = "+inf" if self.upper is None else (
+            f"{'<' if self.upper.kind == KIND_LT else '<='}{self.upper.value}"
+        )
+        return f"({left}, {right})"
+
+
+class CrackerIndex:
+    """Sorted boundary set over a cracker column of ``column_size`` tuples."""
+
+    def __init__(self, column_size: int) -> None:
+        if column_size < 0:
+            raise CrackerIndexError(f"column_size must be >= 0, got {column_size}")
+        self.column_size = column_size
+        self._keys: list[tuple] = []
+        self._boundaries: list[Boundary] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Number of boundaries (pieces - 1 for a non-empty column)."""
+        return len(self._boundaries)
+
+    @property
+    def piece_count(self) -> int:
+        return len(self._boundaries) + 1
+
+    def boundaries(self) -> list[Boundary]:
+        """All boundaries in sorted order."""
+        return list(self._boundaries)
+
+    def pieces(self) -> list[Piece]:
+        """All pieces, left to right."""
+        result = []
+        previous: Boundary | None = None
+        for boundary in self._boundaries:
+            result.append(
+                Piece(
+                    start=0 if previous is None else previous.position,
+                    stop=boundary.position,
+                    lower=previous,
+                    upper=boundary,
+                )
+            )
+            previous = boundary
+        result.append(
+            Piece(
+                start=0 if previous is None else previous.position,
+                stop=self.column_size,
+                lower=previous,
+                upper=None,
+            )
+        )
+        return result
+
+    def piece_sizes(self) -> list[int]:
+        """Sizes of all pieces, left to right."""
+        return [piece.size for piece in self.pieces()]
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, value, kind: str) -> int | None:
+        """Position of an existing boundary ``(value, kind)``, or None."""
+        key = (value, _KIND_RANK.get(kind, -1))
+        if key[1] < 0:
+            raise CrackerIndexError(f"unknown boundary kind {kind!r}")
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._boundaries[index].position
+        return None
+
+    def piece_for(self, value, kind: str) -> Piece:
+        """The piece a new boundary ``(value, kind)`` would split.
+
+        If the boundary already exists the returned piece is degenerate
+        (the existing boundary is both its lower and upper bound is NOT
+        returned; instead the piece to the *left* of the boundary is
+        returned with ``stop`` equal to the boundary position).  Callers
+        should test :meth:`lookup` first when they need to skip the crack.
+        """
+        key = (value, _KIND_RANK.get(kind, -1))
+        if key[1] < 0:
+            raise CrackerIndexError(f"unknown boundary kind {kind!r}")
+        index = bisect.bisect_left(self._keys, key)
+        lower = self._boundaries[index - 1] if index > 0 else None
+        upper = self._boundaries[index] if index < len(self._boundaries) else None
+        return Piece(
+            start=0 if lower is None else lower.position,
+            stop=self.column_size if upper is None else upper.position,
+            lower=lower,
+            upper=upper,
+        )
+
+    def position_bounding(self, value, kind: str) -> int:
+        """The column position separating left/right of ``(value, kind)``.
+
+        Only meaningful when the boundary exists; raises otherwise.
+        """
+        position = self.lookup(value, kind)
+        if position is None:
+            raise CrackerIndexError(f"boundary ({value!r}, {kind!r}) not present")
+        return position
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, value, kind: str, position: int) -> Boundary:
+        """Insert boundary ``(value, kind)`` at storage ``position``.
+
+        Enforces the structural invariant that boundary positions are
+        monotonically non-decreasing in boundary order.
+        """
+        if not 0 <= position <= self.column_size:
+            raise CrackerIndexError(
+                f"boundary position {position} out of range 0..{self.column_size}"
+            )
+        key = (value, _KIND_RANK.get(kind, -1))
+        if key[1] < 0:
+            raise CrackerIndexError(f"unknown boundary kind {kind!r}")
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            existing = self._boundaries[index]
+            if existing.position != position:
+                raise CrackerIndexError(
+                    f"boundary ({value!r}, {kind!r}) re-added at position {position}, "
+                    f"but exists at {existing.position}"
+                )
+            return existing
+        if index > 0 and self._boundaries[index - 1].position > position:
+            raise CrackerIndexError(
+                f"boundary ({value!r}, {kind!r}) at {position} would precede "
+                f"its left neighbour at {self._boundaries[index - 1].position}"
+            )
+        if index < len(self._boundaries) and self._boundaries[index].position < position:
+            raise CrackerIndexError(
+                f"boundary ({value!r}, {kind!r}) at {position} would follow "
+                f"its right neighbour at {self._boundaries[index].position}"
+            )
+        boundary = Boundary(value=value, kind=kind, position=position)
+        self._keys.insert(index, key)
+        self._boundaries.insert(index, boundary)
+        return boundary
+
+    def remove(self, value, kind: str) -> None:
+        """Remove a boundary, fusing its two adjacent pieces."""
+        key = (value, _KIND_RANK.get(kind, -1))
+        index = bisect.bisect_left(self._keys, key)
+        if index >= len(self._keys) or self._keys[index] != key:
+            raise CrackerIndexError(f"boundary ({value!r}, {kind!r}) not present")
+        del self._keys[index]
+        del self._boundaries[index]
+
+    def shift_from(self, position: int, delta: int) -> None:
+        """Shift every boundary at or after ``position`` by ``delta``.
+
+        Used by the update path when tuples are merged into pieces.
+        """
+        if delta == 0:
+            return
+        self.column_size += delta
+        updated = []
+        for boundary in self._boundaries:
+            if boundary.position >= position:
+                updated.append(
+                    Boundary(boundary.value, boundary.kind, boundary.position + delta)
+                )
+            else:
+                updated.append(boundary)
+        self._boundaries = updated
+
+    def clear(self) -> None:
+        """Drop every boundary (the column becomes one uncracked piece)."""
+        self._keys.clear()
+        self._boundaries.clear()
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Raise :class:`CrackerIndexError` if structural invariants fail."""
+        for left, right in zip(self._boundaries, self._boundaries[1:]):
+            if left.sort_key >= right.sort_key:
+                raise CrackerIndexError(
+                    f"boundaries out of order: {left} !< {right}"
+                )
+            if left.position > right.position:
+                raise CrackerIndexError(
+                    f"boundary positions not monotone: {left} vs {right}"
+                )
+        for boundary in self._boundaries:
+            if not 0 <= boundary.position <= self.column_size:
+                raise CrackerIndexError(f"boundary {boundary} outside the column")

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing storage-, SQL- and cracking-level problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Raised for storage-layer violations (BATs, heaps, pages)."""
+
+
+class BATTypeError(StorageError):
+    """Raised when an operation receives a BAT of an incompatible type."""
+
+
+class BATAlignmentError(StorageError):
+    """Raised when two BATs that must be head-aligned are not."""
+
+
+class HeapError(StorageError):
+    """Raised for variable-sized atom heap violations."""
+
+
+class PageError(StorageError):
+    """Raised for buffer-pool / page-layer violations."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog violations (unknown table, duplicate name...)."""
+
+
+class TransactionError(ReproError):
+    """Raised for transaction protocol violations."""
+
+
+class CrackError(ReproError):
+    """Raised for cracking-layer violations."""
+
+
+class CrackerIndexError(CrackError):
+    """Raised when the cracker index is navigated or mutated inconsistently."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL front-end."""
+
+
+class SQLSyntaxError(SQLError):
+    """Raised when the SQL text cannot be tokenised or parsed."""
+
+
+class SQLAnalysisError(SQLError):
+    """Raised when a parsed query fails semantic analysis."""
+
+
+class PlanError(ReproError):
+    """Raised when the planner or optimizer cannot produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical plan fails during execution."""
+
+
+class BenchmarkError(ReproError):
+    """Raised for invalid multi-query benchmark specifications."""

@@ -1,0 +1,41 @@
+"""Experiment harnesses: one module per figure of the paper's evaluation.
+
+Run any of them as a script, e.g.::
+
+    python -m repro.experiments.fig2
+    python -m repro.experiments.fig10 --quick
+
+Each module's ``run(...)`` returns an
+:class:`~repro.experiments.common.ExperimentResult` whose series carry
+the same labels the paper's figure uses; ``format_table()`` renders them
+as text.  EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    hiking,
+    report,
+    sec51,
+)
+from repro.experiments.common import ExperimentResult, Series
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "fig1",
+    "fig10",
+    "fig11",
+    "fig2",
+    "fig3",
+    "fig8",
+    "fig9",
+    "hiking",
+    "report",
+    "sec51",
+]

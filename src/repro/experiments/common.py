@@ -1,0 +1,98 @@
+"""Shared plumbing for the per-figure experiment harnesses.
+
+Every ``repro.experiments.figN`` module exposes ``run(...)`` returning an
+:class:`ExperimentResult` and a ``main()`` that prints the same series the
+paper plots.  Results are plain data so tests can assert on shapes
+(orderings, crossovers, monotonicity) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Series:
+    """One plotted line: a label and aligned x/y vectors."""
+
+    label: str
+    x: list
+    y: list
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x-values vs {len(self.y)} y-values"
+            )
+
+
+@dataclass
+class ExperimentResult:
+    """A named collection of series plus free-form metadata."""
+
+    name: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    notes: dict = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series {label!r} in {self.name}; have "
+                       f"{[s.label for s in self.series]}")
+
+    def to_csv(self) -> str:
+        """Render all series as CSV (x column first), for plotting tools."""
+        header = [self.x_label] + [series.label for series in self.series]
+        lines = [",".join(header)]
+        xs = self.series[0].x if self.series else []
+        for i, x in enumerate(xs):
+            cells = [str(x)]
+            for series in self.series:
+                value = series.y[i] if i < len(series.y) else ""
+                cells.append(repr(value) if isinstance(value, float) else str(value))
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def format_table(self, float_format: str = "{:.4g}") -> str:
+        """Render all series as an aligned text table (x in first column)."""
+        if not self.series:
+            return f"{self.title}\n(no data)"
+        xs = self.series[0].x
+        header = [self.x_label] + [series.label for series in self.series]
+        rows = [header]
+        for i, x in enumerate(xs):
+            row = [str(x)]
+            for series in self.series:
+                value = series.y[i] if i < len(series.y) else ""
+                row.append(
+                    float_format.format(value) if isinstance(value, float) else str(value)
+                )
+            rows.append(row)
+        widths = [max(len(row[c]) for row in rows) for c in range(len(header))]
+        lines = [self.title, ""]
+        for r, row in enumerate(rows):
+            lines.append("  ".join(cell.rjust(widths[c]) for c, cell in enumerate(row)))
+            if r == 0:
+                lines.append("  ".join("-" * widths[c] for c in range(len(header))))
+        if self.notes:
+            lines.append("")
+            for key, value in self.notes.items():
+                lines.append(f"# {key}: {value}")
+        return "\n".join(lines)
+
+
+def standard_parser(description: str) -> argparse.ArgumentParser:
+    """Arg parser shared by the experiment mains (--quick, --rows, --seed)."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run a reduced configuration (smaller table, fewer points)",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="override table size N")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    return parser

@@ -1,0 +1,57 @@
+"""Figure 2: fractional write overhead of cracking per sequence step.
+
+The §2.2 vector simulation: random ranges of fixed selectivity are drawn
+against a vector of N granules; each query cracks the piece(s) holding
+its bounds, and we plot the granules *written* by the crack as a fraction
+of N, per step, for σ ∈ {1, 5, 10, 20, 40, 60, 80}%.
+
+Expected shape: the first query rewrites essentially the whole database
+(fraction ≈ 1); the overhead then decays rapidly, with low selectivities
+decaying fastest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, standard_parser
+from repro.simulation.vector_sim import fractional_write_overhead
+
+DEFAULT_GRANULES = 1_000_000
+DEFAULT_STEPS = 20
+DEFAULT_SELECTIVITIES = (0.80, 0.60, 0.40, 0.20, 0.10, 0.05, 0.01)
+
+
+def run(
+    n_granules: int = DEFAULT_GRANULES,
+    steps: int = DEFAULT_STEPS,
+    selectivities: tuple = DEFAULT_SELECTIVITIES,
+    seed: int = 0,
+    repetitions: int = 9,
+) -> ExperimentResult:
+    """Produce the Figure 2 series (one per selectivity)."""
+    result = ExperimentResult(
+        name="fig2",
+        title=f"Figure 2: cracking write overhead, N={n_granules} granules",
+        x_label="step",
+        y_label="writes / N",
+        notes={"granules": n_granules, "repetitions": repetitions},
+    )
+    x = list(range(1, steps + 1))
+    for selectivity in selectivities:
+        series = fractional_write_overhead(
+            n_granules, steps, selectivity, seed=seed, repetitions=repetitions
+        )
+        result.series.append(
+            Series(label=f"{round(selectivity * 100)} %", x=x, y=series)
+        )
+    return result
+
+
+def main(argv=None) -> None:
+    parser = standard_parser("Figure 2: cracking overhead")
+    args = parser.parse_args(argv)
+    n = args.rows or (100_000 if args.quick else DEFAULT_GRANULES)
+    print(run(n_granules=n, seed=args.seed).format_table())
+
+
+if __name__ == "__main__":
+    main()

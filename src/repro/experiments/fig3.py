@@ -1,0 +1,65 @@
+"""Figure 3: accumulated cost of cracking versus scans.
+
+Same §2.2 simulation as Figure 2, but plotting the *cumulative* cost of
+the cracking strategy (granule reads + writes) divided by the cumulative
+cost of the full-scan baseline ("The baseline (=1.0) is to read the
+vector.  Above the baseline we have lost performance, below the baseline
+cracking has become beneficial").
+
+Expected shape: every curve starts above 1 (the first queries invest),
+and the low/medium selectivity curves cross below 1.0 "after a handful of
+queries"; very unselective sequences (60–80%) stay above 1 within 20
+steps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Series, standard_parser
+from repro.simulation.vector_sim import accumulated_cost_ratio
+
+DEFAULT_GRANULES = 1_000_000
+DEFAULT_STEPS = 20
+DEFAULT_SELECTIVITIES = (0.80, 0.60, 0.40, 0.20, 0.10, 0.05, 0.01)
+
+
+def run(
+    n_granules: int = DEFAULT_GRANULES,
+    steps: int = DEFAULT_STEPS,
+    selectivities: tuple = DEFAULT_SELECTIVITIES,
+    seed: int = 0,
+    repetitions: int = 9,
+) -> ExperimentResult:
+    """Produce the Figure 3 series (one per selectivity)."""
+    result = ExperimentResult(
+        name="fig3",
+        title=(
+            f"Figure 3: cumulative crack/scan cost ratio, N={n_granules} granules "
+            "(<1.0 means cracking wins)"
+        ),
+        x_label="step",
+        y_label="crack_cost / scan_cost",
+        notes={"granules": n_granules, "repetitions": repetitions},
+    )
+    x = list(range(1, steps + 1))
+    breakevens = {}
+    for selectivity in selectivities:
+        series = accumulated_cost_ratio(
+            n_granules, steps, selectivity, seed=seed, repetitions=repetitions
+        )
+        label = f"{round(selectivity * 100)} %"
+        result.series.append(Series(label=label, x=x, y=series))
+        crossing = next((i + 1 for i, r in enumerate(series) if r < 1.0), None)
+        breakevens[label] = crossing
+    result.notes["breakeven_step"] = breakevens
+    return result
+
+
+def main(argv=None) -> None:
+    parser = standard_parser("Figure 3: accumulated overhead")
+    args = parser.parse_args(argv)
+    n = args.rows or (100_000 if args.quick else DEFAULT_GRANULES)
+    print(run(n_granules=n, seed=args.seed).format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Figure 8: the selectivity-contraction distribution functions.
+
+Plots ρ(i; k, σ) for the linear, exponential and logarithmic convergence
+models with σ = 0.2 and k = 20, plus the constant target-selectivity
+reference line — exactly the four curves of the paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.distributions import DISTRIBUTIONS
+from repro.experiments.common import ExperimentResult, Series, standard_parser
+
+DEFAULT_K = 20
+DEFAULT_SIGMA = 0.2
+
+
+def run(k: int = DEFAULT_K, sigma: float = DEFAULT_SIGMA) -> ExperimentResult:
+    """Produce the Figure 8 series."""
+    result = ExperimentResult(
+        name="fig8",
+        title=f"Figure 8: selectivity distributions (sigma={sigma}, k={k})",
+        x_label="step",
+        y_label="selectivity",
+    )
+    x = list(range(1, k + 1))
+    labels = {
+        "linear": "Linear contraction",
+        "exponential": "Exponential contraction",
+        "logarithmic": "Logarithmic contraction",
+    }
+    for name, rho in DISTRIBUTIONS.items():
+        result.series.append(
+            Series(label=labels[name], x=x, y=[rho(step, k, sigma) for step in x])
+        )
+    result.series.append(
+        Series(label="Target selectivity", x=x, y=[sigma] * k)
+    )
+    return result
+
+
+def main(argv=None) -> None:
+    parser = standard_parser("Figure 8: selectivity distributions")
+    parser.add_argument("--k", type=int, default=DEFAULT_K)
+    parser.add_argument("--sigma", type=float, default=DEFAULT_SIGMA)
+    args = parser.parse_args(argv)
+    print(run(k=args.k, sigma=args.sigma).format_table())
+
+
+if __name__ == "__main__":
+    main()

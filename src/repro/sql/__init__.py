@@ -1,0 +1,57 @@
+"""SQL front-end: lexer, parser, analyzer (cracker extraction), planner."""
+
+from repro.sql.analyzer import (
+    AnalyzedQuery,
+    CrackerAdvice,
+    JoinPredicate,
+    RangePredicate,
+    ResidualPredicate,
+    analyze,
+    extract_crackers,
+)
+from repro.sql.ast_nodes import (
+    AggCall,
+    Between,
+    ColRef,
+    Comparison,
+    Const,
+    CreateTableStmt,
+    InsertSelectStmt,
+    InsertValuesStmt,
+    SelectStmt,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner import CrackerProvider, PositionalScan, build_plan
+from repro.sql.session import Database, QueryResult
+
+__all__ = [
+    "AggCall",
+    "AnalyzedQuery",
+    "Between",
+    "ColRef",
+    "Comparison",
+    "Const",
+    "CrackerAdvice",
+    "CrackerProvider",
+    "CreateTableStmt",
+    "Database",
+    "InsertSelectStmt",
+    "InsertValuesStmt",
+    "JoinPredicate",
+    "PositionalScan",
+    "QueryResult",
+    "RangePredicate",
+    "ResidualPredicate",
+    "SelectStmt",
+    "Star",
+    "TableRef",
+    "Token",
+    "analyze",
+    "build_plan",
+    "extract_crackers",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,113 @@
+"""Abstract syntax tree for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColRef:
+    """A (possibly table-qualified) column reference."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant (int, float or str)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Star:
+    """SELECT * (optionally table-qualified)."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """An aggregate call, e.g. count(*), sum(a)."""
+
+    fn: str
+    arg: ColRef | Star
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where op ∈ {=, <>, !=, <, <=, >, >=}."""
+
+    left: ColRef
+    op: str
+    right: ColRef | Const
+
+
+@dataclass(frozen=True)
+class Between:
+    """``col BETWEEN low AND high`` (inclusive on both sides)."""
+
+    col: ColRef
+    low: Const
+    high: Const
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause entry with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias if self.alias else self.name
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY entry: a column and a direction."""
+
+    col: ColRef
+    descending: bool = False
+
+
+@dataclass
+class SelectStmt:
+    """A SELECT query in the paper's normal form π-γ-σ-⋈ (Eq. 1)."""
+
+    items: list  # list of Star | ColRef | AggCall
+    tables: list[TableRef]
+    where: list  # conjunction of Comparison | Between
+    group_by: list[ColRef] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    into: str | None = None
+    limit: int | None = None
+
+
+@dataclass
+class CreateTableStmt:
+    """CREATE TABLE name (col type, ...)."""
+
+    name: str
+    columns: list[tuple[str, str]]  # (name, repro col_type)
+
+
+@dataclass
+class InsertValuesStmt:
+    """INSERT INTO name VALUES (...), (...)."""
+
+    table: str
+    rows: list[tuple]
+
+
+@dataclass
+class InsertSelectStmt:
+    """INSERT INTO name SELECT ... (the paper's benchmark query form)."""
+
+    table: str
+    select: SelectStmt

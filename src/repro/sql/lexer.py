@@ -1,0 +1,95 @@
+"""SQL tokeniser for the subset the paper's examples use.
+
+Covers: CREATE TABLE, INSERT INTO ... VALUES / SELECT, SELECT with
+projections, aggregates, WHERE conjunctions of range/join predicates,
+BETWEEN, GROUP BY, INTO and LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "select", "from", "where", "and", "or", "not", "insert", "into",
+    "values", "create", "table", "group", "by", "between", "limit",
+    "order", "asc", "desc",
+    "integer", "int", "float", "real", "text", "varchar", "as",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'keyword', 'ident', 'number', 'string' or 'symbol'."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text``; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            value = word.lower() if kind == "keyword" else word
+            tokens.append(Token(kind, value, start))
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit() and _prefix_negative(tokens)
+        ):
+            start = i
+            i += 1 if ch == "-" else 0
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            tokens.append(Token("number", text[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            while i < n and text[i] != "'":
+                i += 1
+            if i >= n:
+                raise SQLSyntaxError(f"unterminated string literal at {start}")
+            tokens.append(Token("string", text[start + 1 : i], start))
+            i += 1
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    return tokens
+
+
+def _prefix_negative(tokens: list[Token]) -> bool:
+    """A '-' starts a negative literal unless the previous token is a value."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    if last.kind in ("number", "string", "ident"):
+        return False
+    return last.value not in (")", "*")

@@ -1,0 +1,255 @@
+"""Physical planner: from analyzed queries to Volcano operator trees.
+
+The cracker stage sits exactly where §3 puts it — between the semantic
+analyzer and the (traditional) optimizer: when a cracking provider is
+configured, range selections are answered by the cracked column and the
+base scan is replaced by a positional scan of the qualifying tuples; the
+remaining plan (joins, grouping, projection) is built conventionally.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.cracked_column import CrackedColumn
+from repro.errors import PlanError
+from repro.sql.analyzer import AnalyzedQuery, JoinPredicate, RangePredicate
+from repro.storage.catalog import Catalog
+from repro.storage.table import Relation
+from repro.volcano.joinopt import (
+    JoinEdge,
+    JoinGraph,
+    default_plan,
+    optimize_join_order,
+)
+from repro.volcano.operators import (
+    Aggregate,
+    HashJoin,
+    Limit,
+    Materialize,
+    NestedLoopJoin,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    Sort,
+)
+
+
+class PositionalScan(Operator):
+    """Scan a relation at explicit storage positions (cracked answers)."""
+
+    def __init__(self, relation: Relation, positions: np.ndarray, alias: str) -> None:
+        self.relation = relation
+        self.positions = np.asarray(positions, dtype=np.int64)
+        self.columns = [f"{alias}.{name}" for name in relation.schema.names()]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.relation.rows_at(self.positions))
+
+
+class CrackerProvider:
+    """Per-database registry of cracked columns, keyed by (table, attr)."""
+
+    def __init__(self) -> None:
+        self._columns: dict[tuple[str, str], CrackedColumn] = {}
+
+    def column_for(self, relation: Relation, attr: str) -> CrackedColumn:
+        key = (relation.name, attr)
+        column = self._columns.get(key)
+        if column is None:
+            column = CrackedColumn(relation.column(attr))
+            self._columns[key] = column
+        return column
+
+    def has_column(self, table: str, attr: str) -> bool:
+        return (table, attr) in self._columns
+
+    def piece_count(self, table: str, attr: str) -> int:
+        column = self._columns.get((table, attr))
+        return column.piece_count if column else 1
+
+    def propagate_insert(
+        self, table: str, relation: Relation, first_oid: int, rows: list[tuple]
+    ) -> int:
+        """Feed freshly inserted tuples to the table's crackers.
+
+        The §7 "updates" extension: instead of dropping the cracker index
+        on insert, the new values join the pending area of every cracked
+        column of the table and are merged piece-wise on the next query.
+
+        Returns:
+            the number of cracked columns updated.
+        """
+        updated = 0
+        names = relation.schema.names()
+        oids = list(range(first_oid, first_oid + len(rows)))
+        for (table_name, attr), column in self._columns.items():
+            if table_name != table:
+                continue
+            index = names.index(attr)
+            column.append([row[index] for row in rows], oids=oids)
+            updated += 1
+        return updated
+
+    def drop_table(self, table: str) -> None:
+        """Forget all crackers of a dropped/replaced table."""
+        stale = [key for key in self._columns if key[0] == table]
+        for key in stale:
+            del self._columns[key]
+
+
+def build_plan(
+    query: AnalyzedQuery,
+    catalog: Catalog,
+    cracker: CrackerProvider | None = None,
+    join_budget: int = 10_000,
+    tracker=None,
+) -> Operator:
+    """Assemble the physical plan for an analyzed query."""
+    base_ops: dict[str, Operator] = {}
+    remaining_selections: list[RangePredicate] = []
+    selections_by_binding: dict[str, list[RangePredicate]] = {}
+    for predicate in query.selections:
+        selections_by_binding.setdefault(predicate.binding, []).append(predicate)
+
+    for ref in query.tables:
+        relation = catalog.table(ref.name)
+        binding = ref.binding
+        predicates = selections_by_binding.get(binding, [])
+        crackable = _pick_crackable(predicates, relation, cracker)
+        if crackable is not None and cracker is not None:
+            column = cracker.column_for(relation, crackable.attr)
+            result = column.range_select(
+                crackable.low,
+                crackable.high,
+                low_inclusive=crackable.low_inclusive,
+                high_inclusive=crackable.high_inclusive,
+            )
+            base_ops[binding] = PositionalScan(relation, result.oids, binding)
+            remaining_selections.extend(p for p in predicates if p is not crackable)
+        else:
+            base_ops[binding] = Scan(relation, alias=binding)
+            remaining_selections.extend(predicates)
+
+    tree = _join_tree(query, base_ops, catalog, join_budget)
+    for predicate in remaining_selections:
+        tree = Select(tree, _range_closure(tree, predicate))
+    for residual in query.residuals:
+        index = tree.column_index(f"{residual.binding}.{residual.attr}")
+        value = residual.value
+        tree = Select(tree, lambda row, i=index, v=value: row[i] != v)
+    # ORDER BY: with aggregates the sort keys are group columns and must
+    # apply to the γ output; otherwise sorting happens before projection
+    # so non-projected columns remain orderable.  Reversed stacking of
+    # stable sorts preserves multi-key significance order.
+    if query.aggregates:
+        tree = Aggregate(tree, query.group_by, query.aggregates)
+        for name, descending in reversed(query.order_by):
+            tree = Sort(tree, name, descending=descending)
+    else:
+        for name, descending in reversed(query.order_by):
+            tree = Sort(tree, name, descending=descending)
+        if query.projections:
+            tree = Project(tree, query.projections)
+    if query.limit is not None:
+        tree = Limit(tree, query.limit)
+    if query.into is not None:
+        tree = Materialize(tree, query.into, tracker=tracker)
+    return tree
+
+
+def _pick_crackable(
+    predicates: list[RangePredicate],
+    relation: Relation,
+    cracker: CrackerProvider | None,
+) -> RangePredicate | None:
+    """Choose the selection to answer via cracking (first numeric range)."""
+    if cracker is None:
+        return None
+    for predicate in predicates:
+        if predicate.low is None and predicate.high is None:
+            continue
+        if relation.column(predicate.attr).tail_type == "str":
+            continue
+        return predicate
+    return None
+
+
+def _range_closure(tree: Operator, predicate: RangePredicate):
+    index = tree.column_index(f"{predicate.binding}.{predicate.attr}")
+    low, high = predicate.low, predicate.high
+    low_inc, high_inc = predicate.low_inclusive, predicate.high_inclusive
+
+    def check(row: tuple) -> bool:
+        value = row[index]
+        if low is not None:
+            if low_inc:
+                if value < low:
+                    return False
+            elif value <= low:
+                return False
+        if high is not None:
+            if high_inc:
+                if value > high:
+                    return False
+            elif value >= high:
+                return False
+        return True
+
+    return check
+
+
+def _join_tree(
+    query: AnalyzedQuery,
+    base_ops: dict[str, Operator],
+    catalog: Catalog,
+    join_budget: int,
+) -> Operator:
+    bindings = [ref.binding for ref in query.tables]
+    if len(bindings) == 1:
+        return base_ops[bindings[0]]
+    if not query.joins:
+        raise PlanError(
+            "multi-table query without join predicates (cross products are "
+            "not supported)"
+        )
+    index_of = {binding: i for i, binding in enumerate(bindings)}
+    cardinalities = [len(catalog.table(ref.name)) for ref in query.tables]
+    edges = []
+    for join in query.joins:
+        if join.left_binding not in index_of or join.right_binding not in index_of:
+            raise PlanError(f"join references unknown binding: {join.describe()}")
+        edges.append(
+            JoinEdge(
+                left_rel=index_of[join.left_binding],
+                right_rel=index_of[join.right_binding],
+                left_col=f"{join.left_binding}.{join.left_attr}",
+                right_col=f"{join.right_binding}.{join.right_attr}",
+            )
+        )
+    graph = JoinGraph(cardinalities=cardinalities, edges=edges)
+    try:
+        plan = optimize_join_order(graph, budget=join_budget)
+    except PlanError:
+        plan = default_plan(graph)
+    first = plan.steps[0]
+    tree = base_ops[bindings[first.relation]]
+    joined = {first.relation}
+    for step in plan.steps[1:]:
+        right = base_ops[bindings[step.relation]]
+        edge = step.edge
+        if edge is None:
+            raise PlanError("fallback plan encountered a disconnected join")
+        if edge.right_rel == step.relation:
+            left_col, right_col = edge.left_col, edge.right_col
+        else:
+            left_col, right_col = edge.right_col, edge.left_col
+        if step.method == "nested_loop":
+            tree = NestedLoopJoin(tree, right, left_col, right_col)
+        else:
+            tree = HashJoin(tree, right, left_col, right_col)
+        joined.add(step.relation)
+    return tree

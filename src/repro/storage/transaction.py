@@ -1,0 +1,132 @@
+"""Copy-on-write transaction snapshots over BATs.
+
+The MonetDB cracker "relies on the transaction manager to not overwrite
+the original until commit" (§3.4.2): the Ξ shuffle happens in the original
+storage area, and isolation is guaranteed by keeping a pre-image.  This
+module reproduces that contract with explicit snapshots: a transaction
+registers every BAT it will shuffle, the manager lazily copies the
+pre-image, and abort restores it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TransactionError
+from repro.storage.bat import BAT
+
+
+@dataclass
+class _PreImage:
+    """Saved state of one BAT at registration time."""
+
+    tail: np.ndarray
+    head: np.ndarray | None
+    count: int
+
+
+class Transaction:
+    """One transaction's write set of shuffled BATs.
+
+    Use via :class:`TransactionManager` or as a context manager::
+
+        with manager.begin() as txn:
+            txn.protect(bat)
+            ...shuffle bat in place...
+        # exception -> rollback, normal exit -> commit
+    """
+
+    def __init__(self, txn_id: int) -> None:
+        self.txn_id = txn_id
+        self.state = "active"
+        self._pre_images: dict[int, tuple[BAT, _PreImage]] = {}
+
+    def protect(self, bat: BAT) -> None:
+        """Snapshot ``bat`` before in-place mutation (idempotent)."""
+        if self.state != "active":
+            raise TransactionError(f"transaction {self.txn_id} is {self.state}")
+        key = id(bat)
+        if key in self._pre_images:
+            return
+        head = bat._head
+        self._pre_images[key] = (
+            bat,
+            _PreImage(
+                tail=bat.tail_array().copy(),
+                head=None if head is None else head[: len(bat)].copy(),
+                count=len(bat),
+            ),
+        )
+
+    @property
+    def protected_count(self) -> int:
+        """Number of BATs with a saved pre-image."""
+        return len(self._pre_images)
+
+    def commit(self) -> None:
+        """Make all in-place mutations durable; pre-images are dropped."""
+        if self.state != "active":
+            raise TransactionError(f"cannot commit a {self.state} transaction")
+        self._pre_images.clear()
+        self.state = "committed"
+
+    def rollback(self) -> None:
+        """Restore every protected BAT to its pre-image."""
+        if self.state != "active":
+            raise TransactionError(f"cannot rollback a {self.state} transaction")
+        for bat, image in self._pre_images.values():
+            bat._ensure_capacity(image.count)
+            bat._tail[: image.count] = image.tail
+            bat._count = image.count
+            if image.head is None:
+                bat._head = None
+            else:
+                bat._head = image.head.copy()
+            bat._invalidate_accelerators()
+        self._pre_images.clear()
+        self.state = "aborted"
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.state != "active":
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+
+class TransactionManager:
+    """Hands out transactions with monotonically increasing ids."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self.committed = 0
+        self.aborted = 0
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        txn = _ManagedTransaction(self._next_id, self)
+        self._next_id += 1
+        return txn
+
+
+class _ManagedTransaction(Transaction):
+    """Transaction that reports its outcome back to the manager."""
+
+    def __init__(self, txn_id: int, manager: TransactionManager) -> None:
+        super().__init__(txn_id)
+        self._manager = manager
+
+    def commit(self) -> None:
+        super().commit()
+        self._manager.committed += 1
+
+    def rollback(self) -> None:
+        super().rollback()
+        self._manager.aborted += 1

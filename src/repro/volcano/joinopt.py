@@ -1,0 +1,190 @@
+"""Join-order optimizer with a bounded search budget.
+
+Figure 9 of the paper tests k-way linear joins and finds that traditional
+optimizers "(too) quickly reach [their] limitations and fall back to a
+default solution.  The effect is an expensive nested-loop join or even
+breaking the system by running out of optimizer resource space."
+
+This module reproduces that behaviour honestly: a dynamic-programming
+enumerator over left-deep join trees with a configurable budget of plan
+states.  Within budget it emits hash-join plans; past the budget it raises
+:class:`OptimizerBudgetExceeded`, and the row-store engine falls back to
+the default left-deep *nested-loop* plan — the collapse in the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+
+
+class OptimizerBudgetExceeded(PlanError):
+    """The DP enumeration exceeded the optimizer's resource budget."""
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """An equi-join predicate between two relations in the chain.
+
+    Attributes:
+        left_rel / right_rel: indexes into the relation list.
+        left_col / right_col: qualified column names for the join keys.
+    """
+
+    left_rel: int
+    right_rel: int
+    left_col: str
+    right_col: str
+
+
+@dataclass
+class JoinGraph:
+    """Relations (with cardinalities) plus equi-join edges."""
+
+    cardinalities: list[int]
+    edges: list[JoinEdge] = field(default_factory=list)
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.cardinalities)
+
+    def edges_between(self, joined: frozenset, candidate: int) -> list[JoinEdge]:
+        """Edges connecting the joined set to a candidate relation."""
+        found = []
+        for edge in self.edges:
+            if edge.left_rel in joined and edge.right_rel == candidate:
+                found.append(edge)
+            elif edge.right_rel in joined and edge.left_rel == candidate:
+                found.append(edge)
+        return found
+
+
+@dataclass
+class JoinStep:
+    """One step of a linear join plan: join ``relation`` via ``edge``."""
+
+    relation: int
+    edge: JoinEdge | None
+    method: str  # 'hash' or 'nested_loop'
+
+
+@dataclass
+class JoinPlan:
+    """An ordered sequence of join steps with its estimated cost."""
+
+    steps: list[JoinStep]
+    estimated_cost: float
+    plans_considered: int
+
+
+def _hash_cost(left_card: float, right_card: float) -> float:
+    return left_card + right_card
+
+
+def _output_estimate(left_card: float, right_card: float, selectivity: float) -> float:
+    return max(1.0, left_card * right_card * selectivity)
+
+
+def optimize_join_order(
+    graph: JoinGraph,
+    budget: int = 10_000,
+    join_selectivity: float | None = None,
+) -> JoinPlan:
+    """Search left-deep join orders by dynamic programming.
+
+    Args:
+        graph: relations and join edges.
+        budget: maximum number of DP states considered before the
+            optimizer gives up (the "resource space" of the paper).
+        join_selectivity: per-join output selectivity estimate; defaults
+            to ``1 / max(cardinality)`` (key-foreign-key heuristic).
+
+    Returns:
+        the cheapest left-deep hash-join plan found.
+
+    Raises:
+        OptimizerBudgetExceeded: when the DP would need more than
+            ``budget`` states — callers fall back to a default plan.
+    """
+    n = graph.n_relations
+    if n == 0:
+        raise PlanError("cannot optimize a join over zero relations")
+    if join_selectivity is None:
+        join_selectivity = 1.0 / max(max(graph.cardinalities), 1)
+    considered = 0
+    # DP over (joined set) -> (cost, est_card, steps)
+    best: dict[frozenset, tuple[float, float, list[JoinStep]]] = {}
+    for start in range(n):
+        best[frozenset([start])] = (
+            0.0,
+            float(graph.cardinalities[start]),
+            [JoinStep(relation=start, edge=None, method="scan")],
+        )
+        considered += 1
+    for size in range(2, n + 1):
+        layer: dict[frozenset, tuple[float, float, list[JoinStep]]] = {}
+        for joined, (cost, card, steps) in best.items():
+            if len(joined) != size - 1:
+                continue
+            for candidate in range(n):
+                if candidate in joined:
+                    continue
+                edges = graph.edges_between(joined, candidate)
+                if not edges:
+                    continue
+                considered += 1
+                if considered > budget:
+                    raise OptimizerBudgetExceeded(
+                        f"join optimizer exceeded its budget of {budget} states "
+                        f"at {size}-relation subsets"
+                    )
+                edge = edges[0]
+                step_cost = _hash_cost(card, graph.cardinalities[candidate])
+                out_card = _output_estimate(
+                    card, graph.cardinalities[candidate], join_selectivity
+                )
+                key = joined | {candidate}
+                total = cost + step_cost
+                if key not in layer or layer[key][0] > total:
+                    layer[key] = (
+                        total,
+                        out_card,
+                        steps + [JoinStep(relation=candidate, edge=edge, method="hash")],
+                    )
+        best.update(layer)
+    full = frozenset(range(n))
+    if full not in best:
+        raise PlanError("join graph is disconnected; no complete plan exists")
+    cost, _, steps = best[full]
+    return JoinPlan(steps=steps, estimated_cost=cost, plans_considered=considered)
+
+
+def default_plan(graph: JoinGraph) -> JoinPlan:
+    """The optimizer's fallback: join in input order by nested loops."""
+    steps = [JoinStep(relation=0, edge=None, method="scan")]
+    joined = {0}
+    for candidate in range(1, graph.n_relations):
+        edges = graph.edges_between(frozenset(joined), candidate)
+        edge = edges[0] if edges else None
+        steps.append(JoinStep(relation=candidate, edge=edge, method="nested_loop"))
+        joined.add(candidate)
+    return JoinPlan(steps=steps, estimated_cost=float("inf"), plans_considered=0)
+
+
+def linear_chain_graph(cardinalities: list[int], key_cols: list[tuple[str, str]]) -> JoinGraph:
+    """Build the Figure 9 topology: R1 ⋈ R2 ⋈ ... ⋈ Rk along a chain.
+
+    ``key_cols[i]`` gives the (left, right) qualified join columns for the
+    edge between relation i and i+1.
+    """
+    if len(key_cols) != len(cardinalities) - 1:
+        raise PlanError(
+            f"need {len(cardinalities) - 1} edges for {len(cardinalities)} "
+            f"relations, got {len(key_cols)}"
+        )
+    edges = [
+        JoinEdge(left_rel=i, right_rel=i + 1, left_col=left, right_col=right)
+        for i, (left, right) in enumerate(key_cols)
+    ]
+    return JoinGraph(cardinalities=list(cardinalities), edges=edges)

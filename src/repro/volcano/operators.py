@@ -1,0 +1,357 @@
+"""Volcano-style iterator operators (Graefe's model, paper §3.4.1).
+
+"Most systems use a Volcano-like query evaluation scheme.  Tuples are read
+from source relations and passed up the tree through filter-, join-, and
+projection-nodes."  This module implements that scheme tuple-at-a-time —
+deliberately, because it is the cost profile of the traditional engines
+the paper measures (MySQL/PostgreSQL/SQLite class).
+
+Each operator exposes ``columns`` (qualified output column names) and is
+iterable, yielding plain tuples.  A :class:`CrackingFilter` demonstrates
+§3.4.1's piggybacking: it routes non-qualifying tuples into a reject sink
+while passing qualifying ones up the tree, so the pieces together replace
+the original table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import ExecutionError
+from repro.storage.table import Column, Relation, Schema
+
+
+class Operator:
+    """Base class: an iterable of tuples with named output columns."""
+
+    columns: list[str]
+
+    def __iter__(self) -> Iterator[tuple]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def column_index(self, name: str) -> int:
+        """Index of ``name`` in the output tuples.
+
+        Accepts both qualified (``R.a``) and bare (``a``) names; bare names
+        must be unambiguous.
+        """
+        if name in self.columns:
+            return self.columns.index(name)
+        matches = [i for i, c in enumerate(self.columns) if c.split(".")[-1] == name]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise ExecutionError(f"unknown column {name!r}; have {self.columns}")
+        raise ExecutionError(f"ambiguous column {name!r}; have {self.columns}")
+
+
+class Scan(Operator):
+    """Sequential scan of a relation, tuple-at-a-time."""
+
+    def __init__(self, relation: Relation, alias: str | None = None) -> None:
+        self.relation = relation
+        prefix = alias if alias is not None else relation.name
+        self.columns = [f"{prefix}.{name}" for name in relation.schema.names()]
+
+    def __iter__(self) -> Iterator[tuple]:
+        return relation_rows(self.relation)
+
+
+def relation_rows(relation: Relation) -> Iterator[tuple]:
+    """Yield all rows of a relation positionally (row-store access path)."""
+    arrays = []
+    for column in relation.schema:
+        bat = relation.bats[column.name]
+        if column.col_type == "str":
+            arrays.append(bat.tail_values())
+        else:
+            arrays.append(bat.tail_array())
+    yield from zip(*arrays)
+
+
+class Select(Operator):
+    """Filter: passes tuples satisfying ``predicate(row)``."""
+
+    def __init__(self, child: Operator, predicate: Callable[[tuple], bool]) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.child:
+            if predicate(row):
+                yield row
+
+
+class CrackingFilter(Operator):
+    """A Select that also collects rejected tuples (§3.4.1 piggybacking).
+
+    "The Ξ-cracker can be put in front of a filter node to write unwanted
+    tuples into a separated piece."  After iteration completes, the
+    rejects are available in :attr:`rejected`, and together with the
+    passed tuples they replace the original input.
+    """
+
+    def __init__(self, child: Operator, predicate: Callable[[tuple], bool]) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.columns = list(child.columns)
+        self.rejected: list[tuple] = []
+
+    def __iter__(self) -> Iterator[tuple]:
+        self.rejected = []
+        predicate = self.predicate
+        for row in self.child:
+            if predicate(row):
+                yield row
+            else:
+                self.rejected.append(row)
+
+
+class Project(Operator):
+    """Projection onto a subset (or reordering) of the child's columns."""
+
+    def __init__(self, child: Operator, names: list[str]) -> None:
+        self.child = child
+        self._indices = [child.column_index(name) for name in names]
+        self.columns = [child.columns[i] for i in self._indices]
+
+    def __iter__(self) -> Iterator[tuple]:
+        indices = self._indices
+        for row in self.child:
+            yield tuple(row[i] for i in indices)
+
+
+class NestedLoopJoin(Operator):
+    """Equi-join by nested loops — the optimizer's fallback plan.
+
+    This is what Figure 9 shows row engines collapsing to when the join
+    optimizer exhausts its search budget: cost O(|L| · |R|).
+    The right input is buffered (it is re-read once per left tuple).
+    """
+
+    def __init__(
+        self, left: Operator, right: Operator, left_col: str, right_col: str
+    ) -> None:
+        self.left = left
+        self.right = right
+        self._left_idx = left.column_index(left_col)
+        self._right_idx = right.column_index(right_col)
+        self.columns = list(left.columns) + list(right.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        right_rows = list(self.right)
+        left_idx = self._left_idx
+        right_idx = self._right_idx
+        for left_row in self.left:
+            key = left_row[left_idx]
+            for right_row in right_rows:
+                if right_row[right_idx] == key:
+                    yield left_row + right_row
+
+
+class HashJoin(Operator):
+    """Equi-join building a hash table on the right input: O(|L| + |R|)."""
+
+    def __init__(
+        self, left: Operator, right: Operator, left_col: str, right_col: str
+    ) -> None:
+        self.left = left
+        self.right = right
+        self._left_idx = left.column_index(left_col)
+        self._right_idx = right.column_index(right_col)
+        self.columns = list(left.columns) + list(right.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        table: dict = {}
+        right_idx = self._right_idx
+        for right_row in self.right:
+            table.setdefault(right_row[right_idx], []).append(right_row)
+        left_idx = self._left_idx
+        for left_row in self.left:
+            for right_row in table.get(left_row[left_idx], ()):
+                yield left_row + right_row
+
+
+class Sort(Operator):
+    """Full in-memory sort on one column."""
+
+    def __init__(self, child: Operator, name: str, descending: bool = False) -> None:
+        self.child = child
+        self._index = child.column_index(name)
+        self.descending = descending
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        rows = sorted(self.child, key=lambda row: row[self._index], reverse=self.descending)
+        return iter(rows)
+
+
+class Limit(Operator):
+    """Pass at most ``n`` tuples."""
+
+    def __init__(self, child: Operator, n: int) -> None:
+        if n < 0:
+            raise ExecutionError(f"LIMIT must be >= 0, got {n}")
+        self.child = child
+        self.n = n
+        self.columns = list(child.columns)
+
+    def __iter__(self) -> Iterator[tuple]:
+        remaining = self.n
+        for row in self.child:
+            if remaining <= 0:
+                return
+            yield row
+            remaining -= 1
+
+
+#: Aggregate function registry: name -> (initial, step, final).
+AGGREGATES = {
+    "count": (lambda: 0, lambda acc, v: acc + 1, lambda acc: acc),
+    "sum": (lambda: 0, lambda acc, v: acc + v, lambda acc: acc),
+    "min": (lambda: None, lambda acc, v: v if acc is None or v < acc else acc, lambda acc: acc),
+    "max": (lambda: None, lambda acc, v: v if acc is None or v > acc else acc, lambda acc: acc),
+    "avg": (
+        lambda: (0, 0),
+        lambda acc, v: (acc[0] + v, acc[1] + 1),
+        lambda acc: acc[0] / acc[1] if acc[1] else None,
+    ),
+}
+
+
+class Aggregate(Operator):
+    """Grouped aggregation (γ): GROUP BY ``group_names``, computing aggs.
+
+    ``aggs`` is a list of (function_name, column_name_or_None) pairs;
+    ``("count", None)`` is COUNT(*).  Output columns are the group columns
+    followed by one column per aggregate, named ``fn(col)``.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_names: list[str],
+        aggs: list[tuple[str, str | None]],
+    ) -> None:
+        self.child = child
+        self._group_indices = [child.column_index(n) for n in group_names]
+        self._agg_specs = []
+        for fn_name, col_name in aggs:
+            if fn_name not in AGGREGATES:
+                raise ExecutionError(
+                    f"unknown aggregate {fn_name!r}; have {sorted(AGGREGATES)}"
+                )
+            index = None if col_name is None else child.column_index(col_name)
+            self._agg_specs.append((fn_name, index))
+        self.columns = [child.columns[i] for i in self._group_indices] + [
+            f"{fn}({'*' if idx is None else child.columns[idx]})"
+            for fn, idx in self._agg_specs
+        ]
+
+    def __iter__(self) -> Iterator[tuple]:
+        groups: dict[tuple, list] = {}
+        for row in self.child:
+            key = tuple(row[i] for i in self._group_indices)
+            state = groups.get(key)
+            if state is None:
+                state = [AGGREGATES[fn][0]() for fn, _ in self._agg_specs]
+                groups[key] = state
+            for slot, (fn, index) in enumerate(self._agg_specs):
+                value = 1 if index is None else row[index]
+                state[slot] = AGGREGATES[fn][1](state[slot], value)
+        for key in sorted(groups) if self._group_indices else groups:
+            state = groups[key]
+            finals = tuple(
+                AGGREGATES[fn][2](state[slot])
+                for slot, (fn, _) in enumerate(self._agg_specs)
+            )
+            yield key + finals
+        if not groups and not self._group_indices:
+            # Aggregate over an empty input still produces one row.
+            yield tuple(
+                AGGREGATES[fn][2](AGGREGATES[fn][0]()) for fn, _ in self._agg_specs
+            )
+
+
+class Materialize(Operator):
+    """Pipeline breaker that writes its input into a new Relation.
+
+    The expensive delivery mode of Figure 1a: per-tuple insertion plus
+    WAL/page accounting when a tracker is supplied.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        name: str,
+        tracker=None,
+        col_types: list[str] | None = None,
+    ) -> None:
+        self.child = child
+        self.name = name
+        self.tracker = tracker
+        self.columns = list(child.columns)
+        self._col_types = col_types
+        self.result: Relation | None = None
+
+    def run(self) -> Relation:
+        """Drain the child into a fresh relation and return it."""
+        rows = list(self.child)
+        types = self._col_types
+        if types is None:
+            types = _infer_types(rows, len(self.columns))
+        schema = Schema(
+            [
+                Column(name.split(".")[-1], col_type)
+                for name, col_type in zip(self.columns, types)
+            ]
+        )
+        relation = Relation.from_rows(self.name, schema, rows)
+        if self.tracker is not None:
+            tuple_bytes = relation.tuple_bytes
+            self.tracker.log_tuples(len(rows), tuple_bytes)
+            self.tracker.write_bytes(self.name, len(rows) * tuple_bytes)
+        self.result = relation
+        return relation
+
+    def __iter__(self) -> Iterator[tuple]:
+        relation = self.run()
+        return relation_rows(relation)
+
+
+def _infer_types(rows: list[tuple], n_columns: int) -> list[str]:
+    """Infer BAT tail types from the first row (int default when empty)."""
+    if not rows:
+        return ["int"] * n_columns
+    types = []
+    for value in rows[0]:
+        if isinstance(value, str):
+            types.append("str")
+        elif isinstance(value, float):
+            types.append("float")
+        else:
+            types.append("int")
+    return types
+
+
+class PrintSink:
+    """Format rows into an in-memory text sink (Figure 1b's delivery mode)."""
+
+    def __init__(self) -> None:
+        self.lines = 0
+        self.bytes_written = 0
+
+    def drain(self, operator: Iterable[tuple]) -> int:
+        """Format every row; returns the row count."""
+        for row in operator:
+            text = "|".join(str(value) for value in row)
+            self.lines += 1
+            self.bytes_written += len(text) + 1
+        return self.lines
+
+
+def count_rows(operator: Iterable[tuple]) -> int:
+    """Drain an operator counting tuples (Figure 1c's delivery mode)."""
+    return sum(1 for _ in operator)

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.table import Column, Relation, Schema
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_relation(rng):
+    """R(k, a): 1000 rows, both columns permutations of 1..1000."""
+    schema = Schema([Column("k", "int"), Column("a", "int")])
+    return Relation.from_columns(
+        "R",
+        schema,
+        {"k": rng.permutation(1000) + 1, "a": rng.permutation(1000) + 1},
+    )
+
+
+@pytest.fixture
+def partner_relation(rng):
+    """S(k, b): 1000 rows, for join tests."""
+    schema = Schema([Column("k", "int"), Column("b", "int")])
+    return Relation.from_columns(
+        "S",
+        schema,
+        {"k": rng.permutation(1000) + 1, "b": rng.permutation(1000) + 1},
+    )
+
+
+@pytest.fixture
+def mixed_relation():
+    """A small relation with int, float and str columns."""
+    schema = Schema(
+        [Column("id", "int"), Column("score", "float"), Column("name", "str")]
+    )
+    return Relation.from_columns(
+        "people",
+        schema,
+        {
+            "id": [1, 2, 3, 4, 5],
+            "score": [9.5, 7.25, 9.5, 3.0, 5.5],
+            "name": ["ada", "bob", "cyd", "dan", "eve"],
+        },
+    )

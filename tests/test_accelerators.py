@@ -1,0 +1,95 @@
+"""Unit tests for hash and sorted accelerators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.accelerators import HashAccelerator, SortedAccelerator
+from repro.storage.bat import BAT
+
+
+class TestHashAccelerator:
+    def test_lookup_finds_all_positions(self):
+        bat = BAT.from_values("t", [4, 2, 4, 4, 1])
+        accel = HashAccelerator(bat)
+        assert sorted(accel.lookup(4).tolist()) == [0, 2, 3]
+
+    def test_lookup_missing_value(self):
+        accel = HashAccelerator(BAT.from_values("t", [1, 2]))
+        assert len(accel.lookup(99)) == 0
+
+    def test_distinct_count(self):
+        accel = HashAccelerator(BAT.from_values("t", [1, 1, 2, 3, 3, 3]))
+        assert accel.distinct_count() == 3
+
+    def test_stale_after_append_raises(self):
+        bat = BAT.from_values("t", [1])
+        accel = HashAccelerator(bat)
+        bat.append(2)
+        with pytest.raises(StorageError):
+            accel.lookup(1)
+
+    def test_str_bat_lookup(self):
+        bat = BAT.from_values("t", ["a", "b", "a"], tail_type="str")
+        accel = HashAccelerator(bat)
+        assert sorted(accel.lookup("a").tolist()) == [0, 2]
+        assert len(accel.lookup("nope")) == 0
+
+    def test_agrees_with_linear_scan(self, rng):
+        values = rng.integers(0, 50, 500)
+        bat = BAT.from_values("t", values)
+        accel = HashAccelerator(bat)
+        for needle in (0, 17, 49, 50):
+            expected = np.flatnonzero(values == needle)
+            assert sorted(accel.lookup(needle).tolist()) == expected.tolist()
+
+
+class TestSortedAccelerator:
+    def test_range_positions_match_scan(self, rng):
+        values = rng.integers(0, 1000, 2000)
+        bat = BAT.from_values("t", values)
+        accel = SortedAccelerator(bat)
+        positions = accel.range_positions(100, 200)
+        expected = np.flatnonzero((values >= 100) & (values < 200))
+        assert sorted(positions.tolist()) == expected.tolist()
+
+    def test_inclusive_flags(self):
+        bat = BAT.from_values("t", [1, 2, 3, 4, 5])
+        accel = SortedAccelerator(bat)
+        assert len(accel.range_positions(2, 4)) == 2          # [2, 4)
+        assert len(accel.range_positions(2, 4, high_inclusive=True)) == 3
+        assert len(accel.range_positions(2, 4, low_inclusive=False)) == 1
+
+    def test_open_bounds(self):
+        bat = BAT.from_values("t", [5, 1, 3])
+        accel = SortedAccelerator(bat)
+        assert len(accel.range_positions(None, None)) == 3
+        assert len(accel.range_positions(3, None)) == 2
+        assert len(accel.range_positions(None, 3)) == 1
+
+    def test_empty_range(self):
+        accel = SortedAccelerator(BAT.from_values("t", [1, 2, 3]))
+        assert len(accel.range_positions(10, 20)) == 0
+
+    def test_count_range_matches_positions(self, rng):
+        values = rng.integers(0, 100, 300)
+        accel = SortedAccelerator(BAT.from_values("t", values))
+        for low, high in [(10, 20), (0, 100), (50, 50)]:
+            assert accel.count_range(low, high) == len(accel.range_positions(low, high))
+
+    def test_stale_after_append_raises(self):
+        bat = BAT.from_values("t", [1, 2])
+        accel = SortedAccelerator(bat)
+        bat.append(3)
+        with pytest.raises(StorageError):
+            accel.range_positions(0, 10)
+
+    def test_str_bat_rejected(self):
+        bat = BAT.from_values("t", ["a"], tail_type="str")
+        with pytest.raises(StorageError):
+            SortedAccelerator(bat)
+
+    def test_duplicates_included(self):
+        bat = BAT.from_values("t", [5, 5, 5, 1])
+        accel = SortedAccelerator(bat)
+        assert len(accel.range_positions(5, 5, high_inclusive=True)) == 3

@@ -1,0 +1,104 @@
+"""Tests for the command-line entry point and error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list_returns_zero(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 0
+        assert "Experiments:" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_run_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        output = capsys.readouterr().out
+        assert "Linear contraction" in output
+
+    def test_run_fig2_quick(self, capsys):
+        assert main(["fig2", "--quick", "--rows", "20000"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.StorageError,
+            errors.BATTypeError,
+            errors.BATAlignmentError,
+            errors.HeapError,
+            errors.PageError,
+            errors.CatalogError,
+            errors.TransactionError,
+            errors.CrackError,
+            errors.CrackerIndexError,
+            errors.SQLError,
+            errors.SQLSyntaxError,
+            errors.SQLAnalysisError,
+            errors.PlanError,
+            errors.ExecutionError,
+            errors.BenchmarkError,
+        ],
+    )
+    def test_all_errors_are_repro_errors(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_storage_sub_hierarchy(self):
+        assert issubclass(errors.BATTypeError, errors.StorageError)
+        assert issubclass(errors.HeapError, errors.StorageError)
+        assert issubclass(errors.PageError, errors.StorageError)
+
+    def test_sql_sub_hierarchy(self):
+        assert issubclass(errors.SQLSyntaxError, errors.SQLError)
+        assert issubclass(errors.SQLAnalysisError, errors.SQLError)
+
+    def test_cracker_index_error_is_crack_error(self):
+        assert issubclass(errors.CrackerIndexError, errors.CrackError)
+
+    def test_one_except_catches_everything(self):
+        from repro.sql import Database
+
+        db = Database()
+        try:
+            db.execute("SELECT * FROM ghost")
+        except errors.ReproError as caught:
+            assert isinstance(caught, errors.SQLAnalysisError)
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")
+
+
+class TestHikingExperiment:
+    def test_hiking_run_shape(self):
+        from repro.experiments import hiking
+
+        result = hiking.run(n_rows=50_000, steps=16, sigma=0.05, seed=0)
+        assert {s.label for s in result.series} == {"nocrack", "crack"}
+        for series in result.series:
+            assert len(series.y) == 16
+            assert all(a <= b + 1e-12 for a, b in zip(series.y, series.y[1:]))
+
+    def test_hiking_answers_fixed_width(self):
+        from repro.benchmark.profiles import MQS, hiking_sequence
+        from repro.benchmark.runner import run_sequence
+        from repro.benchmark.tapestry import DBtapestry
+        from repro.engines import CrackingEngine
+
+        engine = CrackingEngine()
+        engine.load(DBtapestry(20_000, seed=0).build_relation("R"))
+        mqs = MQS(alpha=2, n=20_000, k=8, sigma=0.1)
+        queries = hiking_sequence(mqs, attr="a", seed=0)
+        result = run_sequence(engine, "R", queries)
+        widths = {step.rows for step in result.steps}
+        assert widths == {queries[0].width}

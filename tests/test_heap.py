@@ -1,0 +1,98 @@
+"""Unit tests for the variable-sized atom heap."""
+
+import pytest
+
+from repro.errors import HeapError
+from repro.storage.heap import AtomHeap
+
+
+class TestPutGet:
+    def test_roundtrip_single_atom(self):
+        heap = AtomHeap()
+        offset = heap.put("hello")
+        assert heap.get(offset) == "hello"
+
+    def test_roundtrip_many_atoms(self):
+        heap = AtomHeap()
+        atoms = [f"atom-{i}" for i in range(100)]
+        offsets = [heap.put(atom) for atom in atoms]
+        assert [heap.get(offset) for offset in offsets] == atoms
+
+    def test_empty_string_is_storable(self):
+        heap = AtomHeap()
+        offset = heap.put("")
+        assert heap.get(offset) == ""
+
+    def test_unicode_atoms(self):
+        heap = AtomHeap()
+        offset = heap.put("héllo wörld ☃")
+        assert heap.get(offset) == "héllo wörld ☃"
+
+    def test_get_at_non_atom_offset_raises(self):
+        heap = AtomHeap()
+        heap.put("abcdef")
+        with pytest.raises(HeapError):
+            heap.get(3)
+
+    def test_get_beyond_buffer_raises(self):
+        heap = AtomHeap()
+        heap.put("x")
+        with pytest.raises(HeapError):
+            heap.get(999)
+
+    def test_put_non_string_raises(self):
+        heap = AtomHeap()
+        with pytest.raises(HeapError):
+            heap.put(42)
+
+
+class TestDeduplication:
+    def test_duplicate_put_returns_same_offset(self):
+        heap = AtomHeap()
+        first = heap.put("dup")
+        second = heap.put("dup")
+        assert first == second
+
+    def test_duplicates_do_not_grow_buffer(self):
+        heap = AtomHeap()
+        heap.put("payload")
+        size = heap.size_bytes
+        heap.put("payload")
+        assert heap.size_bytes == size
+
+    def test_len_counts_distinct_atoms(self):
+        heap = AtomHeap()
+        heap.put("a")
+        heap.put("b")
+        heap.put("a")
+        assert len(heap) == 2
+
+
+class TestLookupHelpers:
+    def test_contains_atom(self):
+        heap = AtomHeap()
+        heap.put("present")
+        assert heap.contains_atom("present")
+        assert not heap.contains_atom("absent")
+
+    def test_offset_of_known_atom(self):
+        heap = AtomHeap()
+        offset = heap.put("findme")
+        assert heap.offset_of("findme") == offset
+
+    def test_offset_of_unknown_atom_is_none(self):
+        heap = AtomHeap()
+        assert heap.offset_of("nothing") is None
+
+    def test_get_many_decodes_in_order(self):
+        heap = AtomHeap()
+        offsets = [heap.put(s) for s in ["x", "y", "z"]]
+        assert heap.get_many(offsets) == ["x", "y", "z"]
+
+    def test_clear_invalidates_offsets(self):
+        heap = AtomHeap()
+        offset = heap.put("gone")
+        heap.clear()
+        assert len(heap) == 0
+        with pytest.raises(HeapError):
+            heap.get(offset)

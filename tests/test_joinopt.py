@@ -1,0 +1,96 @@
+"""Tests for the join-order optimizer and its budget fallback."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.volcano.joinopt import (
+    JoinEdge,
+    JoinGraph,
+    OptimizerBudgetExceeded,
+    default_plan,
+    linear_chain_graph,
+    optimize_join_order,
+)
+
+
+def chain(cardinalities):
+    key_cols = [
+        (f"t{i}.a", f"t{i + 1}.k") for i in range(len(cardinalities) - 1)
+    ]
+    return linear_chain_graph(cardinalities, key_cols)
+
+
+class TestOptimize:
+    def test_single_relation(self):
+        plan = optimize_join_order(chain([100]))
+        assert len(plan.steps) == 1
+        assert plan.steps[0].method == "scan"
+
+    def test_two_relations_hash_join(self):
+        plan = optimize_join_order(chain([100, 200]))
+        assert [step.method for step in plan.steps] == ["scan", "hash"]
+
+    def test_all_relations_joined_once(self):
+        plan = optimize_join_order(chain([10, 20, 30, 40]))
+        relations = [step.relation for step in plan.steps]
+        assert sorted(relations) == [0, 1, 2, 3]
+
+    def test_cost_positive(self):
+        plan = optimize_join_order(chain([10, 20, 30]))
+        assert plan.estimated_cost > 0
+
+    def test_budget_exceeded_raises(self):
+        with pytest.raises(OptimizerBudgetExceeded):
+            optimize_join_order(chain([10] * 40), budget=50)
+
+    def test_large_budget_handles_long_chain(self):
+        plan = optimize_join_order(chain([10] * 16), budget=100_000)
+        assert len(plan.steps) == 16
+
+    def test_disconnected_graph_raises(self):
+        graph = JoinGraph(cardinalities=[10, 20, 30], edges=[
+            JoinEdge(0, 1, "t0.a", "t1.k"),
+        ])
+        with pytest.raises(PlanError):
+            optimize_join_order(graph)
+
+    def test_zero_relations_raises(self):
+        with pytest.raises(PlanError):
+            optimize_join_order(JoinGraph(cardinalities=[]))
+
+    def test_smaller_relations_join_earlier(self):
+        # A star-free chain where one relation is tiny: the DP should
+        # start from a cheap end, not the expensive middle.
+        plan = optimize_join_order(chain([1_000_000, 10, 1_000_000]))
+        assert plan.estimated_cost <= 3_000_020
+
+
+class TestDefaultPlan:
+    def test_default_plan_nested_loops(self):
+        plan = default_plan(chain([10, 20, 30]))
+        assert [step.method for step in plan.steps] == ["scan", "nested_loop", "nested_loop"]
+
+    def test_default_plan_input_order(self):
+        plan = default_plan(chain([10, 20, 30]))
+        assert [step.relation for step in plan.steps] == [0, 1, 2]
+
+    def test_default_plan_infinite_cost_marker(self):
+        assert default_plan(chain([10, 20])).estimated_cost == float("inf")
+
+
+class TestLinearChainGraph:
+    def test_edges_connect_neighbours(self):
+        graph = chain([1, 2, 3])
+        assert len(graph.edges) == 2
+        assert graph.edges[0].left_rel == 0
+        assert graph.edges[0].right_rel == 1
+
+    def test_wrong_edge_count_raises(self):
+        with pytest.raises(PlanError):
+            linear_chain_graph([1, 2, 3], [("a", "b")])
+
+    def test_edges_between(self):
+        graph = chain([1, 2, 3])
+        assert graph.edges_between(frozenset([0]), 1)
+        assert not graph.edges_between(frozenset([0]), 2)
+        assert graph.edges_between(frozenset([0, 1]), 2)

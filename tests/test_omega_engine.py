@@ -1,0 +1,84 @@
+"""Tests for the Ω-cracker integration in the cracking engine."""
+
+import numpy as np
+import pytest
+
+from repro.engines import CrackingEngine
+from repro.storage.table import Column, Relation, Schema
+from repro.volcano.operators import Aggregate, Scan
+
+
+@pytest.fixture
+def engine(rng):
+    instance = CrackingEngine()
+    schema = Schema([Column("grp", "int"), Column("v", "int")])
+    instance.load(
+        Relation.from_columns(
+            "T", schema,
+            {
+                "grp": rng.integers(1, 20, 5000),
+                "v": rng.integers(0, 1000, 5000),
+            },
+        )
+    )
+    return instance
+
+
+class TestOmegaState:
+    def test_pieces_cover_table(self, engine):
+        state = engine.omega_for("T", "grp")
+        sizes = state.piece_stops - state.piece_starts
+        assert sizes.sum() == 5000
+        assert state.group_count == len(set(
+            engine.table("T").column("grp").tail_array().tolist()
+        ))
+
+    def test_group_values_ascending(self, engine):
+        state = engine.omega_for("T", "grp")
+        values = state.group_values
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_pieces_are_homogeneous(self, engine):
+        state = engine.omega_for("T", "grp")
+        grp = engine.table("T").column("grp").tail_array()
+        clustered = grp[state.positions]
+        for value, start, stop in zip(
+            state.group_values, state.piece_starts, state.piece_stops
+        ):
+            assert (clustered[start:stop] == value).all()
+
+    def test_omega_is_cached(self, engine):
+        first = engine.omega_for("T", "grp")
+        assert engine.omega_for("T", "grp") is first
+
+
+class TestGroupedAggregation:
+    def test_group_count_matches_volcano(self, engine):
+        relation = engine.table("T")
+        volcano = dict(
+            iter(Aggregate(Scan(relation, "T"), ["T.grp"], [("count", None)]))
+        )
+        assert engine.group_count("T", "grp") == volcano
+
+    @pytest.mark.parametrize("fn", ["sum", "min", "max", "avg"])
+    def test_group_aggregate_matches_volcano(self, engine, fn):
+        relation = engine.table("T")
+        volcano = dict(
+            iter(Aggregate(Scan(relation, "T"), ["T.grp"], [(fn, "T.v")]))
+        )
+        measured = engine.group_aggregate("T", "grp", "v", fn=fn)
+        assert set(measured) == set(volcano)
+        for key, value in measured.items():
+            assert value == pytest.approx(volcano[key])
+
+    def test_unsupported_aggregate_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.group_aggregate("T", "grp", "v", fn="median")
+
+    def test_second_grouping_pays_no_clustering(self, engine):
+        engine.group_count("T", "grp")
+        before = engine.tracker.counters.snapshot()
+        engine.group_count("T", "grp")
+        delta = engine.tracker.counters.diff(before)
+        assert delta.page_writes == 0
+        assert delta.page_reads == 0

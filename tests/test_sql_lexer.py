@@ -1,0 +1,65 @@
+"""Tests for the SQL tokeniser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(sql):
+    return [(token.kind, token.value) for token in tokenize(sql)]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        assert kinds("SELECT from") == [("keyword", "select"), ("keyword", "from")]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("MyTable") == [("ident", "MyTable")]
+
+    def test_integer_literal(self):
+        assert kinds("42") == [("number", "42")]
+
+    def test_float_literal(self):
+        assert kinds("3.14") == [("number", "3.14")]
+
+    def test_negative_literal_after_operator(self):
+        tokens = kinds("a < -5")
+        assert tokens[-1] == ("number", "-5")
+
+    def test_string_literal(self):
+        assert kinds("'hello world'") == [("string", "hello world")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert [v for _, v in kinds("( ) , * . ;")] == ["(", ")", ",", "*", ".", ";"]
+
+    def test_two_char_operators(self):
+        assert [v for _, v in kinds("<= >= <> !=")] == ["<=", ">=", "<>", "!="]
+
+    def test_single_char_comparisons(self):
+        assert [v for _, v in kinds("< > =")] == ["<", ">", "="]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a @ b")
+
+    def test_line_comment_skipped(self):
+        tokens = kinds("select -- a comment\n 1")
+        assert tokens == [("keyword", "select"), ("number", "1")]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab  cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+    def test_full_statement(self):
+        tokens = kinds("SELECT * FROM r WHERE a BETWEEN 1 AND 10;")
+        assert ("keyword", "between") in tokens
+        assert tokens[-1] == ("symbol", ";")
+
+    def test_underscored_identifier(self):
+        assert kinds("_my_col2") == [("ident", "_my_col2")]

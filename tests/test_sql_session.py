@@ -1,0 +1,166 @@
+"""End-to-end tests for the SQL Database session and planner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, SQLAnalysisError, SQLSyntaxError
+from repro.sql import Database
+
+
+@pytest.fixture
+def db(rng):
+    database = Database(cracking=True)
+    database.execute("CREATE TABLE r (k integer, a integer)")
+    database.execute("CREATE TABLE s (k integer, b integer)")
+    r_rows = ", ".join(
+        f"({i + 1}, {int(v) + 1})" for i, v in enumerate(rng.permutation(500))
+    )
+    database.execute(f"INSERT INTO r VALUES {r_rows}")
+    s_rows = ", ".join(
+        f"({i + 1}, {int(v) + 1})" for i, v in enumerate(rng.permutation(500))
+    )
+    database.execute(f"INSERT INTO s VALUES {s_rows}")
+    return database
+
+
+class TestDDLAndDML:
+    def test_create_table_registers(self, db):
+        db.execute("CREATE TABLE t (x integer)")
+        assert db.catalog.has_table("t")
+
+    def test_duplicate_create_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE r (x integer)")
+
+    def test_insert_values_affected_count(self, db):
+        result = db.execute("INSERT INTO r VALUES (501, 501), (502, 502)")
+        assert result.affected == 2
+
+    def test_insert_select_creates_target(self, db):
+        db.execute("INSERT INTO newr SELECT * FROM r WHERE a <= 10")
+        assert db.execute("SELECT count(*) FROM newr").scalar() == 10
+
+    def test_execute_script(self, db):
+        count = db.execute_script(
+            "CREATE TABLE t (x integer); INSERT INTO t VALUES (1); "
+        )
+        assert count == 2
+        assert db.execute("SELECT count(*) FROM t").scalar() == 1
+
+
+class TestSelects:
+    def test_range_count(self, db):
+        assert db.execute("SELECT count(*) FROM r WHERE a BETWEEN 1 AND 100").scalar() == 100
+
+    def test_select_star_rows(self, db):
+        result = db.execute("SELECT * FROM r WHERE a = 42")
+        assert result.row_count == 1
+        assert result.rows[0][1] == 42
+
+    def test_projection(self, db):
+        result = db.execute("SELECT a FROM r WHERE a < 5")
+        assert sorted(row[0] for row in result.rows) == [1, 2, 3, 4]
+        assert result.columns == ["r.a"]
+
+    def test_join_count(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM r, s WHERE r.k = s.k AND r.a <= 50"
+        )
+        assert result.scalar() == 50  # k is a key in both tables
+
+    def test_join_rows_correct(self, db):
+        result = db.execute(
+            "SELECT r.k, s.b FROM r, s WHERE r.k = s.k AND r.a = 1"
+        )
+        assert result.row_count == 1
+        k, b = result.rows[0]
+        truth = db.execute(f"SELECT b FROM s WHERE k = {k}")
+        assert truth.rows[0][0] == b
+
+    def test_group_by(self, db):
+        db.execute("CREATE TABLE g (grp integer, v integer)")
+        db.execute("INSERT INTO g VALUES (1, 10), (1, 20), (2, 5)")
+        result = db.execute("SELECT grp, sum(v) FROM g GROUP BY grp")
+        assert dict(result.rows) == {1: 30, 2: 5}
+
+    def test_not_equal_residual(self, db):
+        result = db.execute("SELECT count(*) FROM r WHERE a <> 1 AND a <= 10")
+        assert result.scalar() == 9
+
+    def test_limit(self, db):
+        result = db.execute("SELECT * FROM r LIMIT 7")
+        assert result.row_count == 7
+
+    def test_select_into_materialises(self, db):
+        result = db.execute("SELECT * INTO piece FROM r WHERE a <= 20")
+        assert result.affected == 20
+        assert db.execute("SELECT count(*) FROM piece").scalar() == 20
+
+    def test_contradictory_range_empty(self, db):
+        assert db.execute("SELECT count(*) FROM r WHERE a > 10 AND a < 5").scalar() == 0
+
+    def test_scalar_on_multirow_raises(self, db):
+        result = db.execute("SELECT * FROM r WHERE a <= 3")
+        with pytest.raises(SQLAnalysisError):
+            result.scalar()
+
+
+class TestCrackingIntegration:
+    def test_queries_crack_columns(self, db):
+        assert db.piece_count("r", "a") == 1
+        db.execute("SELECT count(*) FROM r WHERE a BETWEEN 100 AND 200")
+        assert db.piece_count("r", "a") == 3
+
+    def test_cracked_and_uncracked_agree(self, rng):
+        values = (rng.permutation(400) + 1).tolist()
+        rows = ", ".join(f"({i}, {v})" for i, v in enumerate(values))
+        plain = Database(cracking=False)
+        cracked = Database(cracking=True)
+        for database in (plain, cracked):
+            database.execute("CREATE TABLE t (k integer, a integer)")
+            database.execute(f"INSERT INTO t VALUES {rows}")
+        for low, high in [(10, 50), (100, 300), (40, 45), (390, 400)]:
+            sql = f"SELECT count(*) FROM t WHERE a BETWEEN {low} AND {high}"
+            assert plain.execute(sql).scalar() == cracked.execute(sql).scalar()
+
+    def test_insert_merges_into_crackers(self, db):
+        db.execute("SELECT count(*) FROM r WHERE a BETWEEN 1 AND 50")
+        assert db.piece_count("r", "a") > 1
+        db.execute("INSERT INTO r VALUES (1000, 25)")
+        # The cracker index survives the insert (merge-on-query updates).
+        assert db.piece_count("r", "a") > 1
+        assert db.execute(
+            "SELECT count(*) FROM r WHERE a BETWEEN 1 AND 50"
+        ).scalar() == 51
+
+    def test_many_inserts_stay_consistent(self, db):
+        db.execute("SELECT count(*) FROM r WHERE a BETWEEN 100 AND 200")
+        for value in (150, 120, 180, 450, 1):
+            db.execute(f"INSERT INTO r VALUES (900, {value})")
+        assert db.execute(
+            "SELECT count(*) FROM r WHERE a BETWEEN 100 AND 200"
+        ).scalar() == 101 + 3
+
+    def test_advice_attached_to_results(self, db):
+        result = db.execute("SELECT count(*) FROM r WHERE a < 10")
+        assert [a.op for a in result.advice] == ["Ξ"]
+
+    def test_explain_mentions_crackers(self, db):
+        text = db.explain("SELECT r.a FROM r, s WHERE r.k = s.k AND r.a < 5")
+        assert "Ξ" in text and "^" in text and "Ψ" in text
+
+    def test_explain_non_select_raises(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.explain("CREATE TABLE z (x integer)")
+
+
+class TestErrors:
+    def test_syntax_error_propagates(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("SELEC * FROM r")
+
+    def test_cross_product_rejected(self, db):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            db.execute("SELECT count(*) FROM r, s")

@@ -1,0 +1,78 @@
+"""Tests for the DBtapestry benchmark data generator."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark.tapestry import DBtapestry, column_names
+from repro.errors import BenchmarkError
+
+
+class TestColumnNames:
+    def test_first_is_k(self):
+        assert column_names(3) == ["k", "a", "b"]
+
+    def test_single_column(self):
+        assert column_names(1) == ["k"]
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(BenchmarkError):
+            column_names(0)
+
+
+class TestGeneration:
+    def test_columns_are_permutations(self):
+        DBtapestry(5000, arity=3, seed=1).verify()
+
+    def test_non_divisible_seed_size(self):
+        DBtapestry(777, arity=2, seed=2, seed_size=100).verify()
+
+    def test_tiny_table(self):
+        DBtapestry(1, arity=2, seed=0).verify()
+
+    def test_deterministic_per_seed(self):
+        first = DBtapestry(100, seed=5).column(0)
+        second = DBtapestry(100, seed=5).column(0)
+        assert np.array_equal(first, second)
+
+    def test_columns_differ(self):
+        tapestry = DBtapestry(1000, arity=2, seed=5)
+        assert not np.array_equal(tapestry.column(0), tapestry.column(1))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(
+            DBtapestry(100, seed=1).column(0), DBtapestry(100, seed=2).column(0)
+        )
+
+    def test_column_index_out_of_range(self):
+        with pytest.raises(BenchmarkError):
+            DBtapestry(10, arity=2).column(5)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(BenchmarkError):
+            DBtapestry(0)
+        with pytest.raises(BenchmarkError):
+            DBtapestry(10, seed_size=0)
+
+
+class TestOutputs:
+    def test_build_relation(self):
+        relation = DBtapestry(200, arity=2, seed=0).build_relation("R")
+        assert len(relation) == 200
+        assert relation.schema.names() == ["k", "a"]
+
+    def test_sql_script_loads_into_database(self):
+        from repro.sql import Database
+
+        script = DBtapestry(50, arity=2, seed=0).to_sql_script("tap", batch=16)
+        database = Database()
+        database.execute_script(script)
+        assert database.execute("SELECT count(*) FROM tap").scalar() == 50
+        values = sorted(
+            row[0] for row in database.execute("SELECT a FROM tap").rows
+        )
+        assert values == list(range(1, 51))
+
+    def test_sql_script_shape(self):
+        script = DBtapestry(10, arity=2, seed=0).to_sql_script("t", batch=4)
+        assert script.startswith("CREATE TABLE t (k integer, a integer);")
+        assert script.count("INSERT INTO") == 3  # ceil(10 / 4)

@@ -1,0 +1,108 @@
+"""Unit tests for copy-on-write transaction snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage.bat import BAT
+from repro.storage.transaction import Transaction, TransactionManager
+
+
+class TestTransaction:
+    def test_commit_keeps_mutation(self):
+        bat = BAT.from_values("t", [1, 2, 3])
+        txn = Transaction(1)
+        txn.protect(bat)
+        bat.tail_array()[0] = 99
+        txn.commit()
+        assert bat.tail_array()[0] == 99
+
+    def test_rollback_restores_tail(self):
+        bat = BAT.from_values("t", [1, 2, 3])
+        txn = Transaction(1)
+        txn.protect(bat)
+        bat.tail_array()[:] = 0
+        txn.rollback()
+        assert np.array_equal(bat.tail_array(), [1, 2, 3])
+
+    def test_rollback_restores_after_shuffle(self):
+        bat = BAT.from_values("t", list(range(100)))
+        txn = Transaction(1)
+        txn.protect(bat)
+        shuffled = bat.tail_array()[::-1].copy()
+        bat.replace_tail(shuffled)
+        txn.rollback()
+        assert np.array_equal(bat.tail_array(), np.arange(100))
+
+    def test_rollback_restores_appends(self):
+        bat = BAT.from_values("t", [1])
+        txn = Transaction(1)
+        txn.protect(bat)
+        bat.append_many([2, 3, 4])
+        txn.rollback()
+        assert len(bat) == 1
+
+    def test_protect_is_idempotent(self):
+        bat = BAT.from_values("t", [1, 2])
+        txn = Transaction(1)
+        txn.protect(bat)
+        bat.tail_array()[0] = 50   # mutate between the two protect calls
+        txn.protect(bat)           # must NOT re-snapshot the dirty state
+        txn.rollback()
+        assert bat.tail_array()[0] == 1
+
+    def test_commit_twice_raises(self):
+        txn = Transaction(1)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_rollback_after_commit_raises(self):
+        txn = Transaction(1)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()
+
+    def test_protect_after_commit_raises(self):
+        txn = Transaction(1)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.protect(BAT.from_values("t", [1]))
+
+    def test_context_manager_commits_on_success(self):
+        bat = BAT.from_values("t", [1])
+        with Transaction(1) as txn:
+            txn.protect(bat)
+            bat.tail_array()[0] = 7
+        assert txn.state == "committed"
+        assert bat.tail_array()[0] == 7
+
+    def test_context_manager_rolls_back_on_error(self):
+        bat = BAT.from_values("t", [1])
+        with pytest.raises(ValueError):
+            with Transaction(1) as txn:
+                txn.protect(bat)
+                bat.tail_array()[0] = 7
+                raise ValueError("boom")
+        assert txn.state == "aborted"
+        assert bat.tail_array()[0] == 1
+
+
+class TestManager:
+    def test_ids_increase(self):
+        manager = TransactionManager()
+        assert manager.begin().txn_id < manager.begin().txn_id
+
+    def test_outcome_counters(self):
+        manager = TransactionManager()
+        manager.begin().commit()
+        manager.begin().rollback()
+        assert manager.committed == 1
+        assert manager.aborted == 1
+
+    def test_protected_count(self):
+        manager = TransactionManager()
+        txn = manager.begin()
+        txn.protect(BAT.from_values("a", [1]))
+        txn.protect(BAT.from_values("b", [1]))
+        assert txn.protected_count == 2

@@ -1,0 +1,194 @@
+"""Tests for the Volcano iterator operators."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.storage.table import Column, Relation, Schema
+from repro.volcano.operators import (
+    Aggregate,
+    CrackingFilter,
+    HashJoin,
+    Limit,
+    Materialize,
+    NestedLoopJoin,
+    PrintSink,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    count_rows,
+)
+
+
+@pytest.fixture
+def orders():
+    schema = Schema([Column("id", "int"), Column("amount", "int"), Column("who", "str")])
+    return Relation.from_columns(
+        "orders",
+        schema,
+        {
+            "id": [1, 2, 3, 4],
+            "amount": [100, 250, 100, 75],
+            "who": ["ada", "bob", "ada", "cyd"],
+        },
+    )
+
+
+@pytest.fixture
+def customers():
+    schema = Schema([Column("name", "str"), Column("tier", "int")])
+    return Relation.from_columns(
+        "customers",
+        schema,
+        {"name": ["ada", "bob", "dee"], "tier": [1, 2, 3]},
+    )
+
+
+class TestScanSelectProject:
+    def test_scan_yields_all_rows(self, orders):
+        assert count_rows(Scan(orders)) == 4
+
+    def test_scan_qualified_columns(self, orders):
+        assert Scan(orders).columns == ["orders.id", "orders.amount", "orders.who"]
+
+    def test_scan_alias(self, orders):
+        assert Scan(orders, alias="o").columns[0] == "o.id"
+
+    def test_column_index_bare_name(self, orders):
+        scan = Scan(orders)
+        assert scan.column_index("amount") == 1
+
+    def test_column_index_unknown_raises(self, orders):
+        with pytest.raises(ExecutionError):
+            Scan(orders).column_index("ghost")
+
+    def test_column_index_ambiguous_raises(self, orders):
+        join = NestedLoopJoin(Scan(orders, "a"), Scan(orders, "b"), "a.id", "b.id")
+        with pytest.raises(ExecutionError):
+            join.column_index("amount")
+
+    def test_select_filters(self, orders):
+        scan = Scan(orders)
+        amount = scan.column_index("amount")
+        selected = Select(scan, lambda row: row[amount] > 90)
+        assert count_rows(selected) == 3
+
+    def test_project_reorders(self, orders):
+        project = Project(Scan(orders), ["orders.who", "orders.id"])
+        assert next(iter(project)) == ("ada", 1)
+
+    def test_cracking_filter_collects_rejects(self, orders):
+        scan = Scan(orders)
+        amount = scan.column_index("amount")
+        cracking = CrackingFilter(scan, lambda row: row[amount] >= 100)
+        passed = list(cracking)
+        assert len(passed) == 3
+        assert len(cracking.rejected) == 1
+        assert cracking.rejected[0][1] == 75
+        # Together the pieces replace the input (§3.4.1).
+        assert len(passed) + len(cracking.rejected) == 4
+
+
+class TestJoins:
+    def test_hash_join_matches(self, orders, customers):
+        join = HashJoin(Scan(orders), Scan(customers), "orders.who", "customers.name")
+        rows = list(join)
+        assert len(rows) == 3  # ada x2, bob x1; cyd has no partner
+
+    def test_nested_loop_equals_hash(self, orders, customers):
+        hash_rows = sorted(
+            HashJoin(Scan(orders), Scan(customers), "orders.who", "customers.name")
+        )
+        nl_rows = sorted(
+            NestedLoopJoin(Scan(orders), Scan(customers), "orders.who", "customers.name")
+        )
+        assert hash_rows == nl_rows
+
+    def test_join_output_columns(self, orders, customers):
+        join = HashJoin(Scan(orders), Scan(customers), "orders.who", "customers.name")
+        assert join.columns == [
+            "orders.id", "orders.amount", "orders.who",
+            "customers.name", "customers.tier",
+        ]
+
+    def test_join_duplicates_multiply(self):
+        schema = Schema([Column("k", "int")])
+        left = Relation.from_columns("L", schema, {"k": [1, 1]})
+        right = Relation.from_columns("R2", schema, {"k": [1, 1, 1]})
+        join = HashJoin(Scan(left), Scan(right), "L.k", "R2.k")
+        assert count_rows(join) == 6
+
+
+class TestSortLimit:
+    def test_sort_ascending(self, orders):
+        rows = list(Sort(Scan(orders), "orders.amount"))
+        assert [row[1] for row in rows] == [75, 100, 100, 250]
+
+    def test_sort_descending(self, orders):
+        rows = list(Sort(Scan(orders), "orders.amount", descending=True))
+        assert rows[0][1] == 250
+
+    def test_limit(self, orders):
+        assert count_rows(Limit(Scan(orders), 2)) == 2
+
+    def test_limit_zero(self, orders):
+        assert count_rows(Limit(Scan(orders), 0)) == 0
+
+    def test_limit_negative_raises(self, orders):
+        with pytest.raises(ExecutionError):
+            Limit(Scan(orders), -1)
+
+
+class TestAggregate:
+    def test_count_star_grouped(self, orders):
+        agg = Aggregate(Scan(orders), ["orders.who"], [("count", None)])
+        assert dict(iter(agg)) == {"ada": 2, "bob": 1, "cyd": 1}
+
+    def test_sum_and_avg(self, orders):
+        agg = Aggregate(
+            Scan(orders), ["orders.who"],
+            [("sum", "orders.amount"), ("avg", "orders.amount")],
+        )
+        rows = {row[0]: row[1:] for row in agg}
+        assert rows["ada"] == (200, 100.0)
+
+    def test_min_max(self, orders):
+        agg = Aggregate(Scan(orders), [], [("min", "orders.amount"), ("max", "orders.amount")])
+        assert list(agg) == [(75, 250)]
+
+    def test_global_count_on_empty_input(self, orders):
+        scan = Scan(orders)
+        empty = Select(scan, lambda row: False)
+        agg = Aggregate(empty, [], [("count", None)])
+        assert list(agg) == [(0,)]
+
+    def test_unknown_aggregate_raises(self, orders):
+        with pytest.raises(ExecutionError):
+            Aggregate(Scan(orders), [], [("median", "orders.amount")])
+
+    def test_groups_sorted_by_key(self, orders):
+        agg = Aggregate(Scan(orders), ["orders.amount"], [("count", None)])
+        keys = [row[0] for row in agg]
+        assert keys == sorted(keys)
+
+
+class TestMaterializeAndSinks:
+    def test_materialize_creates_relation(self, orders):
+        materialize = Materialize(Scan(orders), "copy")
+        relation = materialize.run()
+        assert len(relation) == 4
+        assert relation.schema.names() == ["id", "amount", "who"]
+
+    def test_materialize_infers_types(self, orders):
+        relation = Materialize(Scan(orders), "copy").run()
+        assert relation.schema.column("who").col_type == "str"
+        assert relation.schema.column("amount").col_type == "int"
+
+    def test_materialize_iterable(self, orders):
+        materialize = Materialize(Scan(orders), "copy")
+        assert count_rows(materialize) == 4
+
+    def test_print_sink_counts(self, orders):
+        sink = PrintSink()
+        assert sink.drain(Scan(orders)) == 4
+        assert sink.bytes_written > 0

@@ -1,0 +1,87 @@
+"""Tests for the ^-cracker integration in the cracking engine."""
+
+import numpy as np
+import pytest
+
+from repro.engines import ColumnStoreEngine, CrackingEngine
+from repro.storage.table import Column, Relation, Schema
+
+
+@pytest.fixture
+def engine(rng):
+    instance = CrackingEngine()
+    schema_r = Schema([Column("k", "int"), Column("a", "int")])
+    schema_s = Schema([Column("k", "int"), Column("b", "int")])
+    instance.load(
+        Relation.from_columns(
+            "R", schema_r,
+            {"k": rng.permutation(1000) + 1, "a": rng.permutation(1000) + 1},
+        )
+    )
+    # S.k covers only half of R.k's domain, so semijoin pieces are proper.
+    instance.load(
+        Relation.from_columns(
+            "S", schema_s,
+            {"k": rng.permutation(500) + 1, "b": rng.permutation(500) + 1},
+        )
+    )
+    return instance
+
+
+class TestWedgeState:
+    def test_pieces_partition_both_operands(self, engine):
+        state = engine.wedge_for("R", "S", "k", "k")
+        assert len(state.left_matched) + len(state.left_unmatched) == 1000
+        assert len(state.right_matched) + len(state.right_unmatched) == 500
+
+    def test_matched_pieces_are_the_semijoins(self, engine):
+        state = engine.wedge_for("R", "S", "k", "k")
+        r_keys = engine.table("R").column("k").tail_array()
+        s_keys = engine.table("S").column("k").tail_array()
+        assert set(r_keys[state.left_matched].tolist()) <= set(s_keys.tolist())
+        assert not set(r_keys[state.left_unmatched].tolist()) & set(s_keys.tolist())
+
+    def test_wedge_is_cached(self, engine):
+        first = engine.wedge_for("R", "S", "k", "k")
+        assert engine.has_wedge("R", "S", "k", "k")
+        assert engine.wedge_for("R", "S", "k", "k") is first
+
+    def test_first_wedge_pays_io(self, engine):
+        before = engine.tracker.counters.snapshot()
+        engine.wedge_for("R", "S", "k", "k")
+        invested = engine.tracker.counters.diff(before)
+        assert invested.page_writes > 0
+        before = engine.tracker.counters.snapshot()
+        engine.wedge_for("R", "S", "k", "k")
+        cached = engine.tracker.counters.diff(before)
+        assert cached.page_writes == 0
+
+
+class TestJoinQuery:
+    def test_join_cardinality_matches_plain_join(self, engine):
+        from repro.engines.columnstore import vector_equi_join
+
+        r_keys = engine.table("R").column("k").tail_array()
+        s_keys = engine.table("S").column("k").tail_array()
+        expected = len(vector_equi_join(r_keys, s_keys)[0])
+        assert engine.join_query("R", "S", "k", "k") == expected
+
+    def test_join_with_duplicates(self, rng):
+        instance = CrackingEngine()
+        schema = Schema([Column("k", "int")])
+        instance.load(Relation.from_columns("L", schema, {"k": [1, 1, 2, 3]}))
+        instance.load(Relation.from_columns("R2", schema, {"k": [1, 2, 2, 9]}))
+        assert instance.join_query("L", "R2", "k", "k") == 2 + 2  # 1x1 twice, 2x2 twice
+
+    def test_outer_join_complement_sizes(self, engine):
+        left_extra, right_extra = engine.outer_join_complement("R", "S", "k", "k")
+        assert left_extra == 500   # R.k in 501..1000 have no partner
+        assert right_extra == 0    # every S.k appears in R.k
+
+    def test_repeated_join_cheap(self, engine):
+        engine.join_query("R", "S", "k", "k")
+        before = engine.tracker.counters.snapshot()
+        engine.join_query("R", "S", "k", "k")
+        delta = engine.tracker.counters.diff(before)
+        # Only the matched pieces are read, nothing rewritten.
+        assert delta.page_writes == 0

@@ -1,0 +1,101 @@
+"""Tuple vs vector execution mode on selection→join→aggregate pipelines.
+
+The tentpole claim of the batch executor: once the cracker answers a range
+selection with a contiguous span, keeping the data in numpy arrays through
+join and aggregation removes the per-row interpreter cost the Volcano
+pipeline pays.  The pytest-benchmark entries compare both modes at the
+harness size; ``python benchmarks/bench_vectorized_pipeline.py`` runs the
+full-size (1M-row) comparison and reports the speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchmark.tapestry import DBtapestry
+from repro.sql import Database
+
+BENCH_ROWS = 50_000
+SELECT_LOW = 1
+SELECT_HIGH_FRACTION = 0.1  # 10% selectivity
+
+PIPELINE_QUERY = (
+    "SELECT s.g, count(*), sum(r.a) FROM r, s "
+    "WHERE r.a >= {low} AND r.a <= {high} AND r.k = s.k GROUP BY s.g"
+)
+
+
+def build_database(mode: str, n_rows: int, seed: int = 0) -> Database:
+    """A Database holding the fact table R(k, a) and dimension S(k, g)."""
+    from repro.storage.table import Column, Relation, Schema
+
+    db = Database(cracking=True, mode=mode)
+    fact = DBtapestry(n_rows, arity=2, seed=seed).build_relation("r")
+    db.catalog.create_table(fact)
+    rng = np.random.default_rng(seed + 1)
+    dim = Relation.from_columns(
+        "s",
+        Schema([Column("k", "int"), Column("g", "int")]),
+        {"k": np.arange(1, n_rows + 1), "g": rng.integers(0, 10, n_rows)},
+    )
+    db.catalog.create_table(dim)
+    return db
+
+
+def pipeline_query(n_rows: int) -> str:
+    high = max(SELECT_LOW, int(n_rows * SELECT_HIGH_FRACTION))
+    return PIPELINE_QUERY.format(low=SELECT_LOW, high=high)
+
+
+@pytest.fixture(scope="module", params=["tuple", "vector"])
+def warm_database(request):
+    """A per-mode database with the selection range already cracked."""
+    db = build_database(request.param, BENCH_ROWS)
+    query = pipeline_query(BENCH_ROWS)
+    db.execute(query)  # warm-up: pays the crack + first join
+    return db, query
+
+
+def test_selection_join_aggregate(benchmark, warm_database):
+    db, query = warm_database
+    result = benchmark(db.execute, query)
+    assert result.row_count == 10
+
+
+def test_selection_only(benchmark, warm_database):
+    db, _ = warm_database
+    high = int(BENCH_ROWS * SELECT_HIGH_FRACTION)
+    query = f"SELECT count(*) FROM r WHERE a >= 1 AND a <= {high}"
+    result = benchmark(db.execute, query)
+    assert result.scalar() == high
+
+
+def main(n_rows: int = 1_000_000, repeats: int = 3) -> float:
+    """Full-size comparison; returns the tuple/vector speedup factor."""
+    import time
+
+    query = pipeline_query(n_rows)
+    print(f"rows={n_rows}  query: {query}")
+    timings = {}
+    for mode in ("tuple", "vector"):
+        db = build_database(mode, n_rows)
+        db.execute(query)  # crack + warm
+        best = min(
+            _timed(db.execute, query, time) for _ in range(repeats)
+        )
+        timings[mode] = best
+        print(f"  {mode:>6} mode: {best * 1000:9.2f} ms")
+    speedup = timings["tuple"] / timings["vector"]
+    print(f"  speedup (tuple/vector): {speedup:.1f}x")
+    return speedup
+
+
+def _timed(fn, arg, time) -> float:
+    started = time.perf_counter()
+    fn(arg)
+    return time.perf_counter() - started
+
+
+if __name__ == "__main__":
+    main()

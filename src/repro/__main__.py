@@ -1,14 +1,16 @@
-"""Command-line entry point: run the paper's experiments.
+"""Command-line entry point: run the paper's experiments, or SQL.
 
 Usage::
 
     python -m repro list                 # show available experiments
     python -m repro fig2                 # run one experiment (full size)
     python -m repro all --quick          # all experiments, reduced sizes
+    python -m repro sql --mode vector -e "SELECT ..."   # embedded SQL
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.experiments import (
@@ -38,6 +40,63 @@ EXPERIMENTS = {
 }
 
 
+def run_sql(argv: list[str]) -> int:
+    """The ``sql`` subcommand: execute statements on an embedded Database.
+
+    Statements come from ``-e`` flags and/or a script file; the execution
+    mode (tuple-at-a-time Volcano vs vectorized batches) and cracking are
+    selectable so the two pipelines can be compared from the shell.
+    """
+    from repro.errors import ReproError
+    from repro.sql import Database, split_statements
+
+    parser = argparse.ArgumentParser(
+        prog="repro sql", description="Run SQL on an embedded cracking database."
+    )
+    parser.add_argument(
+        "--mode", choices=("tuple", "vector"), default="tuple",
+        help="executor: Volcano iterators (tuple) or batch pipeline (vector)",
+    )
+    parser.add_argument(
+        "--no-cracking", action="store_true",
+        help="disable adaptive cracking (plain scans)",
+    )
+    parser.add_argument(
+        "-e", "--execute", action="append", default=[], metavar="SQL",
+        help="statement(s) to run, ';'-separated (repeatable)",
+    )
+    parser.add_argument(
+        "script", nargs="?", help="path to a ';'-separated SQL script file"
+    )
+    args = parser.parse_args(argv)
+    statements: list[str] = []
+    for chunk in args.execute:
+        statements.extend(split_statements(chunk))
+    if args.script:
+        try:
+            with open(args.script, "r", encoding="utf-8") as handle:
+                statements.extend(split_statements(handle.read()))
+        except OSError as exc:
+            print(f"error: cannot read script {args.script!r}: {exc}", file=sys.stderr)
+            return 2
+    if not statements:
+        parser.error("no SQL given; use -e and/or a script file")
+    db = Database(cracking=not args.no_cracking, mode=args.mode)
+    for text in statements:
+        try:
+            result = db.execute(text)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if result.columns:
+            print("|".join(result.columns))
+            for row in result.rows:
+                print("|".join(str(value) for value in row))
+        else:
+            print(f"ok ({result.affected} rows affected)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help", "list"):
@@ -48,8 +107,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:<8} {first_line}")
         print("\nRun: python -m repro <experiment> [--quick] [--rows N]")
         print("     python -m repro all [--quick]")
+        print("     python -m repro sql [--mode tuple|vector] -e 'SQL...'")
         return 0
     target, *rest = argv
+    if target == "sql":
+        return run_sql(rest)
     if target == "all":
         for name, module in EXPERIMENTS.items():
             print(f"===== {name} =====")

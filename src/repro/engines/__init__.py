@@ -4,7 +4,8 @@
 * :class:`ColumnStoreEngine` — MonetDB without cracking ("nocrack");
 * :class:`CrackingEngine` — MonetDB plus the cracker module ("crack");
 * :class:`SortedEngine` — sort-upfront baseline ("sort");
-* :class:`SQLCrackingEngine` — §5.1's SQL-level cracking on a row store.
+* :class:`SQLCrackingEngine` — §5.1's SQL-level cracking on a row store;
+* :class:`VectorizedCrackedEngine` — cracking plus the batch executor.
 """
 
 from repro.engines.base import (
@@ -21,6 +22,7 @@ from repro.engines.cracked import CrackingEngine, WedgeState
 from repro.engines.rowstore import RowStoreEngine
 from repro.engines.sorted_engine import SortedEngine
 from repro.engines.sql_cracking import Fragment, SQLCrackingEngine
+from repro.engines.vectorized import VectorizedCrackedEngine
 
 __all__ = [
     "ChainTimeout",
@@ -36,6 +38,7 @@ __all__ = [
     "RowStoreEngine",
     "SQLCrackingEngine",
     "SortedEngine",
+    "VectorizedCrackedEngine",
     "WedgeState",
     "vector_equi_join",
 ]

@@ -25,30 +25,22 @@ from repro.errors import ExecutionError
 from repro.storage.table import Relation
 
 
-def vector_equi_join(
-    left_keys: np.ndarray, right_keys: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """All (left_index, right_index) pairs with equal keys (inner join).
+# The sort-merge join kernel now lives with the batch executor; re-exported
+# here because it is the join discipline of every columnar engine.
+from repro.volcano.vectorized import vector_equi_join  # noqa: E402,F401
 
-    Sort-merge with duplicate handling: right keys are sorted once; for
-    each left key the matching run is located by binary search, and runs
-    are expanded with ``np.repeat``.  O((|L|+|R|) log |R|) — the BAT-join
-    discipline that keeps Figure 9's MonetDB line flat.
+
+def render_columns_bytes(rendered_columns: list[np.ndarray]) -> int:
+    """Bytes of the '|'-joined, newline-terminated rendering of row columns.
+
+    The shared print-delivery kernel: every engine that reports
+    ``bytes_printed`` must count with the same formatting, or the
+    cross-engine comparisons of Figure 1 skew.
     """
-    order = np.argsort(right_keys, kind="stable")
-    sorted_right = right_keys[order]
-    starts = np.searchsorted(sorted_right, left_keys, side="left")
-    stops = np.searchsorted(sorted_right, left_keys, side="right")
-    run_lengths = stops - starts
-    matched = run_lengths > 0
-    left_idx = np.repeat(np.flatnonzero(matched), run_lengths[matched])
-    if len(left_idx) == 0:
-        return left_idx.astype(np.int64), np.empty(0, dtype=np.int64)
-    offsets = np.concatenate(
-        [np.arange(s, e) for s, e in zip(starts[matched], stops[matched])]
-    )
-    right_idx = order[offsets]
-    return left_idx.astype(np.int64), right_idx.astype(np.int64)
+    lines = rendered_columns[0]
+    for rendered in rendered_columns[1:]:
+        lines = np.char.add(np.char.add(lines, "|"), rendered)
+    return int(np.char.str_len(lines).sum()) + len(lines)
 
 
 class ColumnStoreEngine(Engine):
@@ -136,10 +128,7 @@ class ColumnStoreEngine(Engine):
             else:
                 rendered_columns.append(raw.astype("U21"))
         self.tracker.read_bytes(relation.name, len(positions) * relation.tuple_bytes)
-        lines = rendered_columns[0]
-        for rendered in rendered_columns[1:]:
-            lines = np.char.add(np.char.add(lines, "|"), rendered)
-        return int(np.char.str_len(lines).sum()) + len(lines)
+        return render_columns_bytes(rendered_columns)
 
     # ------------------------------------------------------------------ #
     # Join chains (Figure 9)

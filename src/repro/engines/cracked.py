@@ -139,11 +139,27 @@ class CrackingEngine(ColumnStoreEngine):
             "tuples_touched": touched,
             "contiguous": result.contiguous,
         }
-        rows, deliver_extra = self._deliver_oids(
-            relation, result.oids, delivery, target_name
+        rows, deliver_extra = self._deliver_selection(
+            relation, attr, result, delivery, target_name
         )
         extra.update(deliver_extra)
         return rows, extra
+
+    def _deliver_selection(
+        self,
+        relation: Relation,
+        attr: str,
+        result,
+        delivery: str,
+        target_name: str | None,
+    ) -> tuple[int, dict]:
+        """Deliver a cracked :class:`SelectionResult`.
+
+        The base engine delivers by oid (positional gather); the
+        vectorized subclass overrides this to feed the span into the
+        batch executor zero-copy.
+        """
+        return self._deliver_oids(relation, result.oids, delivery, target_name)
 
     def _deliver_oids(
         self,

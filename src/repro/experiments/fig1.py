@@ -13,7 +13,11 @@ grows linearly with the answer size.
 from __future__ import annotations
 
 from repro.benchmark.tapestry import DBtapestry
-from repro.engines import ColumnStoreEngine, RowStoreEngine
+from repro.engines import (
+    ColumnStoreEngine,
+    RowStoreEngine,
+    VectorizedCrackedEngine,
+)
 from repro.engines.base import DELIVERIES
 from repro.experiments.common import ExperimentResult, Series, standard_parser
 
@@ -31,6 +35,7 @@ def run(
     engines = {
         "rowstore": RowStoreEngine(),
         "columnstore": ColumnStoreEngine(),
+        "vectorized": VectorizedCrackedEngine(),
     }
     for engine in engines.values():
         engine.load(tapestry.build_relation("R"))

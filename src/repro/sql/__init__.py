@@ -24,8 +24,13 @@ from repro.sql.ast_nodes import (
 )
 from repro.sql.lexer import Token, tokenize
 from repro.sql.parser import parse
-from repro.sql.planner import CrackerProvider, PositionalScan, build_plan
-from repro.sql.session import Database, QueryResult
+from repro.sql.planner import (
+    PLAN_MODES,
+    CrackerProvider,
+    PositionalScan,
+    build_plan,
+)
+from repro.sql.session import Database, QueryResult, split_statements
 
 __all__ = [
     "AggCall",
@@ -41,6 +46,7 @@ __all__ = [
     "InsertSelectStmt",
     "InsertValuesStmt",
     "JoinPredicate",
+    "PLAN_MODES",
     "PositionalScan",
     "QueryResult",
     "RangePredicate",
@@ -53,5 +59,6 @@ __all__ = [
     "build_plan",
     "extract_crackers",
     "parse",
+    "split_statements",
     "tokenize",
 ]

@@ -1,10 +1,19 @@
-"""Physical planner: from analyzed queries to Volcano operator trees.
+"""Physical planner: from analyzed queries to executable operator trees.
 
 The cracker stage sits exactly where §3 puts it — between the semantic
 analyzer and the (traditional) optimizer: when a cracking provider is
 configured, range selections are answered by the cracked column and the
 base scan is replaced by a positional scan of the qualifying tuples; the
 remaining plan (joins, grouping, projection) is built conventionally.
+
+Two execution modes share one planning pass (``mode`` argument):
+
+* ``"tuple"`` — the Volcano tuple-at-a-time tree of
+  :mod:`repro.volcano.operators`, the traditional-engine cost profile;
+* ``"vector"`` — the batch tree of :mod:`repro.volcano.vectorized`, where
+  a cracked range selection enters the pipeline as a zero-copy
+  ``SelectionResult`` span and every downstream operator is an array
+  kernel.
 """
 
 from __future__ import annotations
@@ -36,6 +45,21 @@ from repro.volcano.operators import (
     Select,
     Sort,
 )
+from repro.volcano.vectorized import (
+    VecAggregate,
+    VecCrackedScan,
+    VecHashJoin,
+    VecLimit,
+    VecMaterialize,
+    VecOperator,
+    VecProject,
+    VecScan,
+    VecSelect,
+    VecSort,
+)
+
+#: Execution modes build_plan understands.
+PLAN_MODES = ("tuple", "vector")
 
 
 class PositionalScan(Operator):
@@ -107,9 +131,18 @@ def build_plan(
     cracker: CrackerProvider | None = None,
     join_budget: int = 10_000,
     tracker=None,
-) -> Operator:
-    """Assemble the physical plan for an analyzed query."""
-    base_ops: dict[str, Operator] = {}
+    mode: str = "tuple",
+) -> Operator | VecOperator:
+    """Assemble the physical plan for an analyzed query.
+
+    ``mode`` selects the executor: ``"tuple"`` builds the Volcano
+    iterator tree, ``"vector"`` the batch tree.  Both trees are built
+    from the same analyzed normal form and produce identical result sets.
+    """
+    if mode not in PLAN_MODES:
+        raise PlanError(f"unknown execution mode {mode!r}; have {PLAN_MODES}")
+    vector = mode == "vector"
+    base_ops: dict[str, Operator | VecOperator] = {}
     remaining_selections: list[RangePredicate] = []
     selections_by_binding: dict[str, list[RangePredicate]] = {}
     for predicate in query.selections:
@@ -128,37 +161,86 @@ def build_plan(
                 low_inclusive=crackable.low_inclusive,
                 high_inclusive=crackable.high_inclusive,
             )
-            base_ops[binding] = PositionalScan(relation, result.oids, binding)
+            if vector:
+                # The cracked span is the pipeline's first batch, zero-copy.
+                base_ops[binding] = VecCrackedScan(
+                    relation, crackable.attr, result, alias=binding
+                )
+            else:
+                base_ops[binding] = PositionalScan(relation, result.oids, binding)
             remaining_selections.extend(p for p in predicates if p is not crackable)
         else:
-            base_ops[binding] = Scan(relation, alias=binding)
+            base_ops[binding] = (
+                VecScan(relation, alias=binding)
+                if vector
+                else Scan(relation, alias=binding)
+            )
             remaining_selections.extend(predicates)
 
-    tree = _join_tree(query, base_ops, catalog, join_budget)
+    tree = _join_tree(query, base_ops, catalog, join_budget, vector)
     for predicate in remaining_selections:
-        tree = Select(tree, _range_closure(tree, predicate))
+        if vector:
+            tree = VecSelect(
+                tree,
+                f"{predicate.binding}.{predicate.attr}",
+                _vec_range_mask(predicate),
+            )
+        else:
+            tree = Select(tree, _range_closure(tree, predicate))
     for residual in query.residuals:
-        index = tree.column_index(f"{residual.binding}.{residual.attr}")
-        value = residual.value
-        tree = Select(tree, lambda row, i=index, v=value: row[i] != v)
+        if vector:
+            value = residual.value
+            tree = VecSelect(
+                tree,
+                f"{residual.binding}.{residual.attr}",
+                lambda values, v=value: values != v,
+            )
+        else:
+            index = tree.column_index(f"{residual.binding}.{residual.attr}")
+            value = residual.value
+            tree = Select(tree, lambda row, i=index, v=value: row[i] != v)
     # ORDER BY: with aggregates the sort keys are group columns and must
     # apply to the γ output; otherwise sorting happens before projection
     # so non-projected columns remain orderable.  Reversed stacking of
     # stable sorts preserves multi-key significance order.
+    aggregate_op = VecAggregate if vector else Aggregate
+    sort_op = VecSort if vector else Sort
     if query.aggregates:
-        tree = Aggregate(tree, query.group_by, query.aggregates)
+        tree = aggregate_op(tree, query.group_by, query.aggregates)
         for name, descending in reversed(query.order_by):
-            tree = Sort(tree, name, descending=descending)
+            tree = sort_op(tree, name, descending=descending)
     else:
         for name, descending in reversed(query.order_by):
-            tree = Sort(tree, name, descending=descending)
+            tree = sort_op(tree, name, descending=descending)
         if query.projections:
-            tree = Project(tree, query.projections)
+            tree = (VecProject if vector else Project)(tree, query.projections)
     if query.limit is not None:
-        tree = Limit(tree, query.limit)
+        tree = (VecLimit if vector else Limit)(tree, query.limit)
     if query.into is not None:
-        tree = Materialize(tree, query.into, tracker=tracker)
+        tree = (VecMaterialize if vector else Materialize)(
+            tree, query.into, tracker=tracker
+        )
     return tree
+
+
+def _vec_range_mask(predicate: RangePredicate):
+    """A vectorized mask function evaluating one range predicate."""
+    low, high = predicate.low, predicate.high
+    low_inc, high_inc = predicate.low_inclusive, predicate.high_inclusive
+
+    def mask(values: np.ndarray) -> np.ndarray:
+        keep = np.ones(len(values), dtype=bool)
+        if low is not None:
+            keep &= np.asarray(
+                values >= low if low_inc else values > low, dtype=bool
+            )
+        if high is not None:
+            keep &= np.asarray(
+                values <= high if high_inc else values < high, dtype=bool
+            )
+        return keep
+
+    return mask
 
 
 def _pick_crackable(
@@ -204,10 +286,11 @@ def _range_closure(tree: Operator, predicate: RangePredicate):
 
 def _join_tree(
     query: AnalyzedQuery,
-    base_ops: dict[str, Operator],
+    base_ops: dict[str, Operator | VecOperator],
     catalog: Catalog,
     join_budget: int,
-) -> Operator:
+    vector: bool = False,
+) -> Operator | VecOperator:
     bindings = [ref.binding for ref in query.tables]
     if len(bindings) == 1:
         return base_ops[bindings[0]]
@@ -247,7 +330,12 @@ def _join_tree(
             left_col, right_col = edge.left_col, edge.right_col
         else:
             left_col, right_col = edge.right_col, edge.left_col
-        if step.method == "nested_loop":
+        if vector:
+            # The batch executor always joins with the sort-merge kernel —
+            # the nested-loop collapse of Figure 9 is a tuple-engine cost
+            # profile the vectorized discipline does not exhibit.
+            tree = VecHashJoin(tree, right, left_col, right_col)
+        elif step.method == "nested_loop":
             tree = NestedLoopJoin(tree, right, left_col, right_col)
         else:
             tree = HashJoin(tree, right, left_col, right_col)

@@ -26,11 +26,38 @@ from repro.sql.ast_nodes import (
     SelectStmt,
 )
 from repro.sql.parser import parse
-from repro.sql.planner import CrackerProvider, build_plan
+from repro.sql.planner import PLAN_MODES, CrackerProvider, build_plan
 from repro.storage.catalog import Catalog
 from repro.storage.pages import IOTracker
 from repro.storage.table import Column, Relation, Schema
 from repro.volcano.operators import Materialize
+from repro.volcano.vectorized import VecMaterialize
+
+
+def split_statements(script: str) -> list[str]:
+    """Split a script on ``;`` outside string literals.
+
+    The naive ``str.split(";")`` would cut a varchar literal like
+    ``'a;b'`` in half; this walker tracks single-quote state instead.
+    Empty fragments are dropped.
+    """
+    statements: list[str] = []
+    buffer: list[str] = []
+    in_string = False
+    for char in script:
+        if char == "'":
+            in_string = not in_string
+        if char == ";" and not in_string:
+            text = "".join(buffer).strip()
+            if text:
+                statements.append(text)
+            buffer = []
+        else:
+            buffer.append(char)
+    text = "".join(buffer).strip()
+    if text:
+        statements.append(text)
+    return statements
 
 
 @dataclass
@@ -56,37 +83,51 @@ class QueryResult:
 
 
 class Database:
-    """An embedded cracking database speaking the SQL subset."""
+    """An embedded cracking database speaking the SQL subset.
 
-    def __init__(self, cracking: bool = False, join_budget: int = 10_000) -> None:
+    ``mode`` selects the default executor: ``"tuple"`` runs the Volcano
+    iterator pipeline (the traditional-engine baseline), ``"vector"`` the
+    batch pipeline that keeps data in numpy arrays end-to-end.  Both modes
+    crack, and both return identical result sets; ``execute(sql, mode=...)``
+    overrides the default per statement.
+    """
+
+    def __init__(
+        self,
+        cracking: bool = False,
+        join_budget: int = 10_000,
+        mode: str = "tuple",
+    ) -> None:
+        if mode not in PLAN_MODES:
+            raise SQLAnalysisError(
+                f"unknown execution mode {mode!r}; have {PLAN_MODES}"
+            )
         self.catalog = Catalog()
         self.tracker = IOTracker()
         self.cracking = cracking
         self.join_budget = join_budget
+        self.mode = mode
         self._cracker = CrackerProvider() if cracking else None
 
     # ------------------------------------------------------------------ #
     # Statement execution
     # ------------------------------------------------------------------ #
 
-    def execute(self, sql: str) -> QueryResult:
-        """Parse and run one statement."""
+    def execute(self, sql: str, mode: str | None = None) -> QueryResult:
+        """Parse and run one statement (``mode`` overrides the default)."""
         stmt = parse(sql)
         if isinstance(stmt, CreateTableStmt):
             return self._execute_create(stmt)
         if isinstance(stmt, InsertValuesStmt):
             return self._execute_insert_values(stmt)
         if isinstance(stmt, InsertSelectStmt):
-            return self._execute_insert_select(stmt)
-        return self._execute_select(stmt)
+            return self._execute_insert_select(stmt, mode=mode)
+        return self._execute_select(stmt, mode=mode)
 
     def execute_script(self, script: str) -> int:
         """Run a semicolon-separated script; returns statements executed."""
         executed = 0
-        for statement in script.split(";"):
-            text = statement.strip()
-            if not text:
-                continue
+        for text in split_statements(script):
             self.execute(text)
             executed += 1
         return executed
@@ -128,8 +169,10 @@ class Database:
         self._propagate_inserts(stmt.table, relation, first_oid, stmt.rows)
         return QueryResult(columns=[], rows=[], affected=inserted)
 
-    def _execute_insert_select(self, stmt: InsertSelectStmt) -> QueryResult:
-        select_result = self._execute_select(stmt.select)
+    def _execute_insert_select(
+        self, stmt: InsertSelectStmt, mode: str | None = None
+    ) -> QueryResult:
+        select_result = self._execute_select(stmt.select, mode=mode)
         if not self.catalog.has_table(stmt.table):
             # Paper's benchmark form: INSERT INTO newR SELECT * FROM R ...
             # creates the target on the fly with the source's schema.
@@ -141,7 +184,9 @@ class Database:
         self._propagate_inserts(stmt.table, relation, first_oid, select_result.rows)
         return QueryResult(columns=[], rows=[], affected=inserted)
 
-    def _execute_select(self, stmt: SelectStmt) -> QueryResult:
+    def _execute_select(
+        self, stmt: SelectStmt, mode: str | None = None
+    ) -> QueryResult:
         query = analyze(stmt, self.catalog)
         plan = build_plan(
             query,
@@ -149,8 +194,9 @@ class Database:
             cracker=self._cracker,
             join_budget=self.join_budget,
             tracker=self.tracker,
+            mode=mode if mode is not None else self.mode,
         )
-        if isinstance(plan, Materialize):
+        if isinstance(plan, (Materialize, VecMaterialize)):
             relation = plan.run()
             if self.catalog.has_table(relation.name):
                 self.catalog.drop_table(relation.name)

@@ -33,8 +33,11 @@ class HashAccelerator:
         boundaries = np.flatnonzero(np.diff(sorted_tail)) + 1
         starts = np.concatenate([[0], boundaries])
         stops = np.concatenate([boundaries, [len(sorted_tail)]])
-        self._buckets: dict[int, np.ndarray] = {
-            int(sorted_tail[start]): order[start:stop]
+        # Buckets are keyed on the native tail value (int for int/str-offset
+        # tails, float for float tails): truncating float keys through
+        # int() would collide distinct values like 2.0 and 2.5.
+        self._buckets: dict = {
+            sorted_tail[start].item(): order[start:stop]
             for start, stop in zip(starts, stops)
         }
 
@@ -55,7 +58,7 @@ class HashAccelerator:
                 return np.empty(0, dtype=np.int64)
             key = int(offset)
         else:
-            key = int(value)
+            key = value.item() if isinstance(value, np.generic) else value
         bucket = self._buckets.get(key)
         if bucket is None:
             return np.empty(0, dtype=np.int64)

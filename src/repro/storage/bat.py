@@ -184,6 +184,21 @@ class BAT:
             return self.heap.get_many(self._tail[: self._count])
         return self._tail[: self._count].copy()
 
+    def decoded_array(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """Batch accessor: decoded tail values as one numpy array.
+
+        Numeric tails return the active region *zero-copy* (or a single
+        bulk gather when ``positions`` is given); str tails decode through
+        the heap into an object array.  This is the access path of the
+        vectorized executor — no per-row decoding anywhere.
+        """
+        active = self._tail[: self._count]
+        if self.tail_type == "str":
+            assert self.heap is not None
+            raw = active if positions is None else active[positions]
+            return np.array(self.heap.get_many(raw), dtype=object)
+        return active if positions is None else active[positions]
+
     # ------------------------------------------------------------------ #
     # Updates
     # ------------------------------------------------------------------ #

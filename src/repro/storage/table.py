@@ -210,6 +210,20 @@ class Relation:
         """All decoded values of one column."""
         return self.column(name).tail_values()
 
+    def column_arrays(
+        self,
+        names: Sequence[str] | None = None,
+        positions: np.ndarray | None = None,
+    ) -> list[np.ndarray]:
+        """Batch accessor: one decoded array per column, schema order.
+
+        Numeric columns alias BAT storage when ``positions`` is None (the
+        zero-copy scan path of the vectorized executor); with positions the
+        gather is one fancy-index per column.
+        """
+        chosen = self.schema.names() if names is None else list(names)
+        return [self.column(name).decoded_array(positions) for name in chosen]
+
     # ------------------------------------------------------------------ #
     # Fragmentation primitives (substrate for the crackers)
     # ------------------------------------------------------------------ #

@@ -21,6 +21,23 @@ from repro.errors import ExecutionError
 from repro.storage.table import Column, Relation, Schema
 
 
+def resolve_column(columns: list[str], name: str) -> int:
+    """Index of ``name`` among qualified ``columns``.
+
+    Accepts both qualified (``R.a``) and bare (``a``) names; bare names
+    must be unambiguous.  Shared by the tuple and vectorized executors so
+    both resolve (and report) column references identically.
+    """
+    if name in columns:
+        return columns.index(name)
+    matches = [i for i, c in enumerate(columns) if c.split(".")[-1] == name]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise ExecutionError(f"unknown column {name!r}; have {columns}")
+    raise ExecutionError(f"ambiguous column {name!r}; have {columns}")
+
+
 class Operator:
     """Base class: an iterable of tuples with named output columns."""
 
@@ -30,19 +47,8 @@ class Operator:
         raise NotImplementedError
 
     def column_index(self, name: str) -> int:
-        """Index of ``name`` in the output tuples.
-
-        Accepts both qualified (``R.a``) and bare (``a``) names; bare names
-        must be unambiguous.
-        """
-        if name in self.columns:
-            return self.columns.index(name)
-        matches = [i for i, c in enumerate(self.columns) if c.split(".")[-1] == name]
-        if len(matches) == 1:
-            return matches[0]
-        if not matches:
-            raise ExecutionError(f"unknown column {name!r}; have {self.columns}")
-        raise ExecutionError(f"ambiguous column {name!r}; have {self.columns}")
+        """Index of ``name`` in the output tuples (bare names allowed)."""
+        return resolve_column(self.columns, name)
 
 
 class Scan(Operator):

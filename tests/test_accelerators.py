@@ -35,6 +35,25 @@ class TestHashAccelerator:
         assert sorted(accel.lookup("a").tolist()) == [0, 2]
         assert len(accel.lookup("nope")) == 0
 
+    def test_float_bat_distinct_tails_do_not_collide(self):
+        # Regression: buckets used to be keyed with int(...), so 2.0 and
+        # 2.5 shared a bucket and lookup(2.5) returned 2.0's positions.
+        bat = BAT.from_values("t", [2.0, 2.5, 2.5, 3.25], tail_type="float")
+        accel = HashAccelerator(bat)
+        assert sorted(accel.lookup(2.5).tolist()) == [1, 2]
+        assert sorted(accel.lookup(2.0).tolist()) == [0]
+        assert sorted(accel.lookup(3.25).tolist()) == [3]
+        assert len(accel.lookup(2.1)) == 0
+        assert accel.distinct_count() == 3
+
+    def test_float_bat_agrees_with_bat_select_equals(self, rng):
+        values = np.round(rng.uniform(0, 10, 300), 1)
+        bat = BAT.from_values("t", values, tail_type="float")
+        accel = HashAccelerator(bat)
+        for needle in (values[0], values[17], 99.9):
+            expected = np.flatnonzero(values == needle)
+            assert sorted(accel.lookup(needle).tolist()) == expected.tolist()
+
     def test_agrees_with_linear_scan(self, rng):
         values = rng.integers(0, 50, 500)
         bat = BAT.from_values("t", values)

@@ -31,6 +31,71 @@ class TestCLI:
         assert "Figure 2" in capsys.readouterr().out
 
 
+class TestSQLSubcommand:
+    def test_execute_statements(self, capsys):
+        code = main([
+            "sql", "--mode", "vector",
+            "-e", "CREATE TABLE r (k integer, a integer)",
+            "-e", "INSERT INTO r VALUES (1, 10), (2, 20), (3, 30); "
+                  "SELECT r.k FROM r WHERE a >= 15 ORDER BY k",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ok (3 rows affected)" in output
+        assert "r.k" in output
+        assert "2" in output and "3" in output
+
+    def test_modes_agree(self, capsys):
+        statements = [
+            "-e", "CREATE TABLE r (a integer)",
+            "-e", "INSERT INTO r VALUES (5), (15), (25)",
+            "-e", "SELECT count(*) FROM r WHERE a > 10",
+        ]
+        outputs = []
+        for mode in ("tuple", "vector"):
+            assert main(["sql", "--mode", mode, *statements]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].rstrip().endswith("2")
+
+    def test_script_file(self, capsys, tmp_path):
+        script = tmp_path / "demo.sql"
+        script.write_text(
+            "CREATE TABLE t (v integer);"
+            "INSERT INTO t VALUES (1), (2);"
+            "SELECT sum(t.v) FROM t"
+        )
+        assert main(["sql", str(script)]) == 0
+        assert capsys.readouterr().out.rstrip().endswith("3")
+
+    def test_no_sql_given_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sql"])
+
+    def test_semicolon_inside_string_literal_survives(self, capsys):
+        # Regression: splitting on ';' used to cut varchar literals in half.
+        code = main([
+            "sql",
+            "-e", "CREATE TABLE t (s varchar); "
+                  "INSERT INTO t VALUES ('a;b'); SELECT * FROM t",
+        ])
+        assert code == 0
+        assert "a;b" in capsys.readouterr().out
+
+    def test_sql_error_is_reported_cleanly(self, capsys):
+        assert main(["sql", "-e", "SELECT * FROM ghost"]) == 1
+        captured = capsys.readouterr()
+        assert "unknown table" in captured.err
+
+    def test_missing_script_file_reported_cleanly(self, capsys):
+        assert main(["sql", "/no/such/file.sql"]) == 2
+        assert "cannot read script" in capsys.readouterr().err
+
+    def test_help_mentions_sql(self, capsys):
+        assert main([]) == 0
+        assert "sql" in capsys.readouterr().out
+
+
 class TestErrorHierarchy:
     @pytest.mark.parametrize(
         "exc",

@@ -1,0 +1,147 @@
+"""Shard-parallel cracking vs the single-column vectorized cracker.
+
+The workload is the expensive phase of adaptive indexing: a burst of
+random range selects against a *cold* column, i.e. the queries that pay
+the crack kernels.  The sharded engine splits that work into K
+independent shards — fanned out over threads when cores are available
+(numpy kernels release the GIL), and still cache-friendlier than one big
+cracker column when they are not.
+
+``pytest benchmarks/bench_parallel_shards.py --benchmark-only`` runs the
+harness-size comparison; ``python benchmarks/bench_parallel_shards.py``
+runs the full-size (1M-row) sweep and records the scaling datapoint in
+``benchmarks/BENCH_shards.json`` so future PRs can track the curve.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.benchmark.tapestry import DBtapestry
+from repro.engines import ShardedCrackedEngine, VectorizedCrackedEngine
+
+BENCH_ROWS = 100_000
+FULL_ROWS = 1_000_000
+#: Two measured phases: the cold burst is crack-kernel bound (where shard
+#: parallelism and shard-sized working sets pay), the sustained phase adds
+#: the converged tail where per-shard bookkeeping is pure overhead.
+QUERIES_COLD = 8
+QUERIES_SUSTAINED = 32
+REPEATS = 5
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_shards.json"
+
+
+def build_engine(shards: int, tapestry: DBtapestry):
+    """A loaded engine: the single-column vectorized cracker for
+    ``shards == 0``, the sharded engine otherwise."""
+    engine = (
+        VectorizedCrackedEngine() if shards == 0 else ShardedCrackedEngine(shards=shards)
+    )
+    engine.load(tapestry.build_relation("R"))
+    return engine
+
+def query_workload(n_rows: int, n_queries: int, seed: int = 17):
+    """Deterministic random double-sided ranges over the key domain."""
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(1, n_rows, n_queries)
+    widths = rng.integers(1, n_rows // 4, n_queries)
+    return [(int(low), int(low + width)) for low, width in zip(lows, widths)]
+
+
+def run_workload(engine, ranges) -> int:
+    total = 0
+    for low, high in ranges:
+        total += engine.range_query("R", "a", low, high, delivery="count").rows
+    return total
+
+
+@pytest.fixture(scope="module")
+def bench_tapestry():
+    return DBtapestry(BENCH_ROWS, arity=2, seed=0)
+
+
+@pytest.mark.parametrize("shards", [0, 4], ids=["vector-1col", "sharded-4"])
+def test_cold_crack_burst(benchmark, shards, bench_tapestry):
+    """Crack a cold 100k column with a burst of random ranges."""
+    ranges = query_workload(BENCH_ROWS, n_queries=8)
+
+    def setup():
+        return (build_engine(shards, bench_tapestry), ranges), {}
+
+    def target(engine, ranges):
+        return run_workload(engine, ranges)
+
+    total = benchmark.pedantic(target, setup=setup, rounds=3, iterations=1)
+    assert total > 0
+
+
+def _measure(shards: int, tapestry: DBtapestry, ranges) -> tuple[float, int]:
+    """Best-of-REPEATS wall time for the workload from a cold engine."""
+    best = None
+    checksum = None
+    for _ in range(REPEATS):
+        engine = build_engine(shards, tapestry)
+        started = time.perf_counter()
+        total = run_workload(engine, ranges)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+        if checksum is None:
+            checksum = total
+        elif checksum != total:
+            raise AssertionError(f"row-count mismatch at shards={shards}")
+    return best, checksum
+
+
+def main(
+    n_rows: int = FULL_ROWS,
+    shard_counts: tuple = (1, 2, 4, 8),
+    result_path: Path = RESULT_PATH,
+) -> dict:
+    """Full-size sweep; writes the scaling datapoint and returns it."""
+    tapestry = DBtapestry(n_rows, arity=2, seed=0)
+    phases = {
+        "cold_burst": query_workload(n_rows, QUERIES_COLD),
+        "sustained": query_workload(n_rows, QUERIES_SUSTAINED),
+    }
+    report = {
+        "rows": n_rows,
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "phases": {},
+    }
+    configs = [("vectorized", 0)] + [("sharded", count) for count in shard_counts]
+    print(f"rows={n_rows}  cpus={os.cpu_count()}")
+    for phase_name, ranges in phases.items():
+        print(f"phase: {phase_name} ({len(ranges)} random range selects, cold start)")
+        results = []
+        baseline = None
+        for name, shards in configs:
+            best, checksum = _measure(shards, tapestry, ranges)
+            label = name if shards == 0 else f"{name}-{shards}"
+            results.append(
+                {
+                    "engine": name,
+                    "shards": 1 if shards == 0 else shards,
+                    "wall_s": round(best, 6),
+                    "rows_matched": checksum,
+                }
+            )
+            if shards == 0:
+                baseline = best
+            speedup = f"  ({baseline / best:.2f}x vs 1-col vector)" if baseline else ""
+            print(f"  {label:>14}: {best * 1000:9.2f} ms{speedup}")
+        report["phases"][phase_name] = {"queries": len(ranges), "results": results}
+    result_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {result_path}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -69,6 +69,20 @@ class SelectionResult:
     def count(self) -> int:
         return len(self.oids)
 
+    def snapshot(self) -> "SelectionResult":
+        """A private copy, stable against later in-place cracks.
+
+        The concurrent SQL layer takes one before releasing a column or
+        shard lock: zero-copy answers are views into cracker storage,
+        which the next crack would shuffle underneath the holder.
+        """
+        return SelectionResult(
+            oids=self.oids.copy(),
+            values=self.values.copy(),
+            start=self.start,
+            stop=self.stop,
+        )
+
 
 @dataclass
 class QueryStats:
@@ -107,13 +121,60 @@ class CrackedColumn:
             raise CrackError(
                 f"cracking requires a numeric column, got {source.tail_type!r}"
             )
+        self.source = source
+        self._setup(
+            source.tail_array().copy(),
+            source.head_array().copy(),
+            kernel,
+            crack_in_three_enabled,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        values: np.ndarray,
+        oids: np.ndarray | None = None,
+        kernel: str = KERNEL_VECTORISED,
+        crack_in_three_enabled: bool = True,
+    ) -> "CrackedColumn":
+        """Build a cracker directly over value/oid arrays (no BAT).
+
+        The shard substrate: a :class:`ShardedCrackedColumn` hands each
+        shard a private copy of its slice of the base column, so the
+        shards crack independently.  ``oids`` defaults to the dense
+        positions ``0..len(values)``; both arrays are copied.
+        """
+        values = np.asarray(values)
+        if values.dtype.kind not in ("i", "u", "f"):
+            raise CrackError(
+                f"cracking requires a numeric column, got dtype {values.dtype}"
+            )
+        if oids is None:
+            oids = np.arange(len(values), dtype=np.int64)
+        else:
+            oids = np.asarray(oids, dtype=np.int64)
+            if len(oids) != len(values):
+                raise CrackError(
+                    f"from_arrays got {len(values)} values but {len(oids)} oids"
+                )
+        column = cls.__new__(cls)
+        column.source = None
+        column._setup(values.copy(), oids.copy(), kernel, crack_in_three_enabled)
+        return column
+
+    def _setup(
+        self,
+        values: np.ndarray,
+        oids: np.ndarray,
+        kernel: str,
+        crack_in_three_enabled: bool,
+    ) -> None:
         if kernel not in _KERNELS:
             raise CrackError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
-        self.source = source
         self.kernel = kernel
         self.crack_in_three_enabled = crack_in_three_enabled
-        self.values = source.tail_array().copy()
-        self.oids = source.head_array().copy()
+        self.values = values
+        self.oids = oids
         self.index = CrackerIndex(len(self.values))
         self.crack_stats = CrackStats()
         self.query_stats = QueryStats()

@@ -1,0 +1,87 @@
+"""A small reader–writer lock for the concurrent cracking layers.
+
+Cracking inverts the usual locking intuition: *reads crack*, so a range
+query is a storage **write** on the cracker column (piece reorganisation
+plus the pending-update merge), while only introspection — piece counts,
+invariant checks, catalog displays — is a true read.  The SQL session
+layer therefore takes the write side around ``range_select``/``append``
+and the read side around monitoring, letting dashboards observe a column
+while queries reorganise it.
+
+Writer-preferring: once a writer is waiting, new readers queue behind it,
+so a stream of piece-count polls cannot starve the query path.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Writer-preferring reader–writer lock.
+
+    Any number of readers may hold the lock concurrently; writers are
+    exclusive against both readers and other writers.  Not reentrant:
+    acquiring the write side while holding the read side deadlocks, as
+    with :class:`threading.Lock`.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------ #
+    # Write side
+    # ------------------------------------------------------------------ #
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

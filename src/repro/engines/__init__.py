@@ -5,7 +5,8 @@
 * :class:`CrackingEngine` — MonetDB plus the cracker module ("crack");
 * :class:`SortedEngine` — sort-upfront baseline ("sort");
 * :class:`SQLCrackingEngine` — §5.1's SQL-level cracking on a row store;
-* :class:`VectorizedCrackedEngine` — cracking plus the batch executor.
+* :class:`VectorizedCrackedEngine` — cracking plus the batch executor;
+* :class:`ShardedCrackedEngine` — shard-parallel concurrent cracking.
 """
 
 from repro.engines.base import (
@@ -20,6 +21,7 @@ from repro.engines.base import (
 from repro.engines.columnstore import ColumnStoreEngine, vector_equi_join
 from repro.engines.cracked import CrackingEngine, WedgeState
 from repro.engines.rowstore import RowStoreEngine
+from repro.engines.sharded import ShardedCrackedEngine
 from repro.engines.sorted_engine import SortedEngine
 from repro.engines.sql_cracking import Fragment, SQLCrackingEngine
 from repro.engines.vectorized import VectorizedCrackedEngine
@@ -37,6 +39,7 @@ __all__ = [
     "QueryOutcome",
     "RowStoreEngine",
     "SQLCrackingEngine",
+    "ShardedCrackedEngine",
     "SortedEngine",
     "VectorizedCrackedEngine",
     "WedgeState",

@@ -29,6 +29,14 @@ class VectorizedCrackedEngine(CrackingEngine):
 
     name = "vectorized"
 
+    def _selection_scan(self, relation: Relation, attr: str, result):
+        """The batch source feeding a cracked answer into the pipeline.
+
+        Hook for subclasses: the sharded engine swaps in the per-shard
+        batch scan here without touching the delivery logic.
+        """
+        return VecCrackedScan(relation, attr, result, alias=relation.name)
+
     def _deliver_selection(
         self,
         relation: Relation,
@@ -41,7 +49,7 @@ class VectorizedCrackedEngine(CrackingEngine):
             # The span bounds already carry the count; nothing to gather.
             return result.count, {}
         if delivery == DELIVERY_PRINT:
-            scan = VecCrackedScan(relation, attr, result, alias=relation.name)
+            scan = self._selection_scan(relation, attr, result)
             bytes_printed = 0
             rows = 0
             for batch in scan.batches():
@@ -51,7 +59,7 @@ class VectorizedCrackedEngine(CrackingEngine):
             return rows, {"bytes_printed": bytes_printed}
         name = target_name or self.fresh_temp_name(f"{relation.name}_tmp")
         self.drop_if_exists(name)
-        scan = VecCrackedScan(relation, attr, result, alias=relation.name)
+        scan = self._selection_scan(relation, attr, result)
         # Preserve the source schema: inferring types from data would
         # default every column of an empty answer to int.
         col_types = [column.col_type for column in relation.schema]

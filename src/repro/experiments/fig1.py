@@ -16,6 +16,7 @@ from repro.benchmark.tapestry import DBtapestry
 from repro.engines import (
     ColumnStoreEngine,
     RowStoreEngine,
+    ShardedCrackedEngine,
     VectorizedCrackedEngine,
 )
 from repro.engines.base import DELIVERIES
@@ -36,6 +37,7 @@ def run(
         "rowstore": RowStoreEngine(),
         "columnstore": ColumnStoreEngine(),
         "vectorized": VectorizedCrackedEngine(),
+        "sharded": ShardedCrackedEngine(shards=4),
     }
     for engine in engines.values():
         engine.load(tapestry.build_relation("R"))

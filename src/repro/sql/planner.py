@@ -18,11 +18,14 @@ Two execution modes share one planning pass (``mode`` argument):
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 import numpy as np
 
 from repro.core.cracked_column import CrackedColumn
+from repro.core.rwlock import ReadWriteLock
+from repro.core.sharded_column import ShardedCrackedColumn, ShardedSelectionResult
 from repro.errors import PlanError
 from repro.sql.analyzer import AnalyzedQuery, JoinPredicate, RangePredicate
 from repro.storage.catalog import Catalog
@@ -55,6 +58,7 @@ from repro.volcano.vectorized import (
     VecProject,
     VecScan,
     VecSelect,
+    VecShardedCrackedScan,
     VecSort,
 )
 
@@ -75,25 +79,146 @@ class PositionalScan(Operator):
 
 
 class CrackerProvider:
-    """Per-database registry of cracked columns, keyed by (table, attr)."""
+    """Per-database registry of cracked columns, keyed by (table, attr).
 
-    def __init__(self) -> None:
-        self._columns: dict[tuple[str, str], CrackedColumn] = {}
+    The registry is the concurrency boundary of the SQL layer: every
+    cracked column gets a :class:`ReadWriteLock`, and all crack/merge/
+    append traffic goes through :meth:`range_select`/:meth:`propagate_insert`
+    which take the *write* side — a range query physically reorganises
+    the cracker column, so in cracking terms reads are writes.  The read
+    side serves introspection (:meth:`piece_count`) that may observe a
+    column while queries reorganise it.
 
-    def column_for(self, relation: Relation, attr: str) -> CrackedColumn:
+    Args:
+        shards: >1 builds :class:`ShardedCrackedColumn` crackers (the
+            shard-parallel subsystem); 1 keeps the classic single column.
+        parallel: forwarded to sharded columns (thread-pool fan-out).
+        snapshot_results: copy selection answers before releasing the
+            column lock.  Required when multiple threads share the
+            database: a later crack shuffles the storage a zero-copy
+            answer is a view of.  Single-threaded sessions keep the
+            zero-copy fast path.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        parallel: bool = True,
+        snapshot_results: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise PlanError(f"shard count must be >= 1, got {shards}")
+        self.shards = shards
+        self.parallel = parallel
+        self.snapshot_results = snapshot_results
+        self._columns: dict[tuple[str, str], CrackedColumn | ShardedCrackedColumn] = {}
+        self._locks: dict[tuple[str, str], ReadWriteLock] = {}
+        self._registry_lock = threading.Lock()
+
+    def column_for(
+        self, relation: Relation, attr: str
+    ) -> CrackedColumn | ShardedCrackedColumn:
         key = (relation.name, attr)
-        column = self._columns.get(key)
-        if column is None:
-            column = CrackedColumn(relation.column(attr))
-            self._columns[key] = column
+        with self._registry_lock:
+            column = self._columns.get(key)
+        if column is not None:
+            return column
+        # First touch copies the base BAT into the cracker column.  The
+        # copy must not interleave with an insert+propagate pair on the
+        # same table, or rows already in the snapshot would be appended
+        # again as pending updates (duplicate oids).  The relation write
+        # lock is taken *before* the registry lock everywhere, so lock
+        # ordering stays relation -> registry -> column.
+        with relation.write_lock:
+            with self._registry_lock:
+                column = self._columns.get(key)
+                if column is None:
+                    bat = relation.column(attr)
+                    if self.shards > 1:
+                        column = ShardedCrackedColumn(
+                            bat, shards=self.shards, parallel=self.parallel
+                        )
+                    else:
+                        column = CrackedColumn(bat)
+                    self._columns[key] = column
+                    self._locks[key] = ReadWriteLock()
         return column
 
+    def lock_for(self, table: str, attr: str) -> ReadWriteLock:
+        """The reader–writer lock guarding ``table.attr``'s cracker."""
+        key = (table, attr)
+        with self._registry_lock:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = ReadWriteLock()
+                self._locks[key] = lock
+        return lock
+
+    def range_select(
+        self,
+        relation: Relation,
+        attr: str,
+        low,
+        high,
+        low_inclusive: bool = True,
+        high_inclusive: bool = False,
+    ):
+        """Crack ``relation.attr`` for a range, locked per column or shard.
+
+        Single-column crackers take the column's write side (cracking
+        mutates storage and merges the pending update area) and, with
+        ``snapshot_results``, copy the answer before the lock is
+        released so no later crack can shuffle it away under the caller.
+
+        Sharded crackers are internally locked per shard, so no
+        column-wide lock is taken at all: concurrent queries on the same
+        column serialise only on the shards they are both cracking at
+        that instant, and snapshots happen inside each shard's critical
+        section.
+        """
+        column = self.column_for(relation, attr)
+        if isinstance(column, ShardedCrackedColumn):
+            return column.range_select(
+                low,
+                high,
+                low_inclusive=low_inclusive,
+                high_inclusive=high_inclusive,
+                snapshot=self.snapshot_results,
+            )
+        lock = self.lock_for(relation.name, attr)
+        with lock.write_locked():
+            result = column.range_select(
+                low,
+                high,
+                low_inclusive=low_inclusive,
+                high_inclusive=high_inclusive,
+            )
+            if self.snapshot_results:
+                result = result.snapshot()
+        return result
+
     def has_column(self, table: str, attr: str) -> bool:
-        return (table, attr) in self._columns
+        with self._registry_lock:
+            return (table, attr) in self._columns
 
     def piece_count(self, table: str, attr: str) -> int:
-        column = self._columns.get((table, attr))
-        return column.piece_count if column else 1
+        with self._registry_lock:
+            column = self._columns.get((table, attr))
+        if column is None:
+            return 1
+        with self.lock_for(table, attr).read_locked():
+            return column.piece_count
+
+    def columns(self) -> dict[tuple[str, str], CrackedColumn | ShardedCrackedColumn]:
+        """Snapshot of the registry (for monitoring and test validation)."""
+        with self._registry_lock:
+            return dict(self._columns)
+
+    def check_invariants(self) -> None:
+        """Validate every cracked column (cheap; used by tests/monitors)."""
+        for key, column in self.columns().items():
+            with self.lock_for(*key).write_locked():
+                column.check_invariants()
 
     def propagate_insert(
         self, table: str, relation: Relation, first_oid: int, rows: list[tuple]
@@ -103,6 +228,12 @@ class CrackerProvider:
         The §7 "updates" extension: instead of dropping the cracker index
         on insert, the new values join the pending area of every cracked
         column of the table and are merged piece-wise on the next query.
+        A single-column cracker's append happens under its write lock, so
+        an interleaved query merges either all of these tuples or none;
+        sharded columns append shard-by-shard under per-shard locks, so a
+        query fanning out mid-append may see the tuples in some shards
+        only (every tuple still lands exactly once, and the statement's
+        rows are fully visible once it returns).
 
         Returns:
             the number of cracked columns updated.
@@ -110,19 +241,24 @@ class CrackerProvider:
         updated = 0
         names = relation.schema.names()
         oids = list(range(first_oid, first_oid + len(rows)))
-        for (table_name, attr), column in self._columns.items():
+        for (table_name, attr), column in self.columns().items():
             if table_name != table:
                 continue
             index = names.index(attr)
-            column.append([row[index] for row in rows], oids=oids)
+            with self.lock_for(table_name, attr).write_locked():
+                column.append([row[index] for row in rows], oids=oids)
             updated += 1
         return updated
 
     def drop_table(self, table: str) -> None:
         """Forget all crackers of a dropped/replaced table."""
-        stale = [key for key in self._columns if key[0] == table]
-        for key in stale:
-            del self._columns[key]
+        with self._registry_lock:
+            stale = [key for key in self._columns if key[0] == table]
+            for key in stale:
+                del self._columns[key]
+                self._locks.pop(key, None)
+
+
 
 
 def build_plan(
@@ -154,14 +290,21 @@ def build_plan(
         predicates = selections_by_binding.get(binding, [])
         crackable = _pick_crackable(predicates, relation, cracker)
         if crackable is not None and cracker is not None:
-            column = cracker.column_for(relation, crackable.attr)
-            result = column.range_select(
+            result = cracker.range_select(
+                relation,
+                crackable.attr,
                 crackable.low,
                 crackable.high,
                 low_inclusive=crackable.low_inclusive,
                 high_inclusive=crackable.high_inclusive,
             )
-            if vector:
+            if vector and isinstance(result, ShardedSelectionResult):
+                # One zero-copy batch per shard span; downstream operators
+                # concatenate only where they must (pipeline breakers).
+                base_ops[binding] = VecShardedCrackedScan(
+                    relation, crackable.attr, result, alias=binding
+                )
+            elif vector:
                 # The cracked span is the pipeline's first batch, zero-copy.
                 base_ops[binding] = VecCrackedScan(
                     relation, crackable.attr, result, alias=binding

@@ -15,6 +15,7 @@ Example::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import SQLAnalysisError
@@ -90,6 +91,20 @@ class Database:
     batch pipeline that keeps data in numpy arrays end-to-end.  Both modes
     crack, and both return identical result sets; ``execute(sql, mode=...)``
     overrides the default per statement.
+
+    ``shards`` > 1 turns on the shard-parallel cracking subsystem: every
+    cracked column is horizontally partitioned into that many
+    independently-cracked, independently-locked shards whose crack work
+    fans out over a thread pool.
+
+    Concurrency: DDL, inserts and all cracker traffic are always locked
+    (catalog lock, per-relation write locks, per-column reader–writer
+    locks), so concurrent statements never corrupt state.  To share one
+    database across threads, additionally pass ``concurrent=True``: range
+    answers are then snapshotted before the column lock is released, so a
+    crack by one thread cannot shuffle storage underneath another
+    thread's in-flight result.  Single-threaded sessions leave it False
+    and keep the zero-copy answer path.
     """
 
     def __init__(
@@ -97,17 +112,29 @@ class Database:
         cracking: bool = False,
         join_budget: int = 10_000,
         mode: str = "tuple",
+        shards: int = 1,
+        concurrent: bool = False,
     ) -> None:
         if mode not in PLAN_MODES:
             raise SQLAnalysisError(
                 f"unknown execution mode {mode!r}; have {PLAN_MODES}"
             )
+        if shards < 1:
+            raise SQLAnalysisError(f"shard count must be >= 1, got {shards}")
         self.catalog = Catalog()
         self.tracker = IOTracker()
         self.cracking = cracking
         self.join_budget = join_budget
         self.mode = mode
-        self._cracker = CrackerProvider() if cracking else None
+        self.shards = shards
+        self.concurrent = concurrent
+        self._cracker = (
+            CrackerProvider(shards=shards, snapshot_results=concurrent)
+            if cracking
+            else None
+        )
+        # Guards catalog mutation (CREATE / DROP / materialise-replace).
+        self._catalog_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Statement execution
@@ -159,29 +186,38 @@ class Database:
 
     def _execute_create(self, stmt: CreateTableStmt) -> QueryResult:
         schema = Schema([Column(name, col_type) for name, col_type in stmt.columns])
-        self.catalog.create_table(Relation(stmt.name, schema))
+        with self._catalog_lock:
+            self.catalog.create_table(Relation(stmt.name, schema))
         return QueryResult(columns=[], rows=[], affected=0)
 
     def _execute_insert_values(self, stmt: InsertValuesStmt) -> QueryResult:
         relation = self.catalog.table(stmt.table)
-        first_oid = len(relation)
-        inserted = relation.insert_many(stmt.rows)
-        self._propagate_inserts(stmt.table, relation, first_oid, stmt.rows)
+        # Atomic oid claim + append + cracker propagation: a cracker
+        # created concurrently would otherwise snapshot the base rows
+        # *and* receive them again as pending updates.
+        with relation.write_lock:
+            first_oid = len(relation)
+            inserted = relation.insert_many(stmt.rows)
+            self._propagate_inserts(stmt.table, relation, first_oid, stmt.rows)
         return QueryResult(columns=[], rows=[], affected=inserted)
 
     def _execute_insert_select(
         self, stmt: InsertSelectStmt, mode: str | None = None
     ) -> QueryResult:
         select_result = self._execute_select(stmt.select, mode=mode)
-        if not self.catalog.has_table(stmt.table):
-            # Paper's benchmark form: INSERT INTO newR SELECT * FROM R ...
-            # creates the target on the fly with the source's schema.
-            source = self.catalog.table(stmt.select.tables[0].name)
-            self.catalog.create_table(Relation(stmt.table, source.schema))
-        relation = self.catalog.table(stmt.table)
-        first_oid = len(relation)
-        inserted = relation.insert_many(select_result.rows)
-        self._propagate_inserts(stmt.table, relation, first_oid, select_result.rows)
+        with self._catalog_lock:
+            if not self.catalog.has_table(stmt.table):
+                # Paper's benchmark form: INSERT INTO newR SELECT * FROM R
+                # ... creates the target on the fly with the source schema.
+                source = self.catalog.table(stmt.select.tables[0].name)
+                self.catalog.create_table(Relation(stmt.table, source.schema))
+            relation = self.catalog.table(stmt.table)
+        with relation.write_lock:
+            first_oid = len(relation)
+            inserted = relation.insert_many(select_result.rows)
+            self._propagate_inserts(
+                stmt.table, relation, first_oid, select_result.rows
+            )
         return QueryResult(columns=[], rows=[], affected=inserted)
 
     def _execute_select(
@@ -198,9 +234,13 @@ class Database:
         )
         if isinstance(plan, (Materialize, VecMaterialize)):
             relation = plan.run()
-            if self.catalog.has_table(relation.name):
-                self.catalog.drop_table(relation.name)
-            self.catalog.create_table(relation)
+            with self._catalog_lock:
+                if self.catalog.has_table(relation.name):
+                    self.catalog.drop_table(relation.name)
+                    if self._cracker is not None:
+                        # Crackers of the replaced table index dead storage.
+                        self._cracker.drop_table(relation.name)
+                self.catalog.create_table(relation)
             return QueryResult(
                 columns=plan.columns, rows=[], affected=len(relation),
                 advice=query.advice,
@@ -219,6 +259,22 @@ class Database:
         if self._cracker is None:
             return 1
         return self._cracker.piece_count(table, attr)
+
+    def cracked_columns(self) -> dict:
+        """Snapshot of all cracked columns, keyed by ``(table, attr)``."""
+        if self._cracker is None:
+            return {}
+        return self._cracker.columns()
+
+    def check_invariants(self) -> None:
+        """Validate every cracked column's piece/coverage invariants.
+
+        Raises :class:`~repro.errors.CrackError` (or a subclass) on the
+        first violation; used by the concurrency stress tests to prove
+        interleaved cracking left every index consistent.
+        """
+        if self._cracker is not None:
+            self._cracker.check_invariants()
 
     def _propagate_inserts(
         self, table: str, relation, first_oid: int, rows

@@ -163,11 +163,24 @@ class BAT:
         record = self._tail.itemsize + (0 if self._head is None else 8)
         return self._count * record
 
+    def _active_tail(self) -> np.ndarray:
+        """Snapshot of the active tail region, safe against append races.
+
+        The count is read *before* the array: appends publish a grown
+        array first and bump the count last, so a count-first reader can
+        only ever pair a count with an array that already holds that many
+        initialized records (array-first could pair a stale, smaller
+        array with the new count and slice into uninitialized capacity).
+        """
+        count = self._count
+        return self._tail[:count]
+
     def head_array(self) -> np.ndarray:
         """The oids of the active region (materialising a void head)."""
+        count = self._count
         if self._head is None:
-            return np.arange(self._seq_base, self._seq_base + self._count, dtype=np.int64)
-        return self._head[: self._count]
+            return np.arange(self._seq_base, self._seq_base + count, dtype=np.int64)
+        return self._head[:count]
 
     def tail_array(self) -> np.ndarray:
         """The raw tail values of the active region (heap offsets for str).
@@ -175,14 +188,14 @@ class BAT:
         The returned array aliases BAT storage — mutating it mutates the
         BAT.  Cracking kernels rely on this to shuffle in place.
         """
-        return self._tail[: self._count]
+        return self._active_tail()
 
     def tail_values(self) -> np.ndarray | list:
         """The decoded tail values (strings decoded through the heap)."""
         if self.tail_type == "str":
             assert self.heap is not None
-            return self.heap.get_many(self._tail[: self._count])
-        return self._tail[: self._count].copy()
+            return self.heap.get_many(self._active_tail())
+        return self._active_tail().copy()
 
     def decoded_array(self, positions: np.ndarray | None = None) -> np.ndarray:
         """Batch accessor: decoded tail values as one numpy array.
@@ -192,7 +205,7 @@ class BAT:
         the heap into an object array.  This is the access path of the
         vectorized executor — no per-row decoding anywhere.
         """
-        active = self._tail[: self._count]
+        active = self._active_tail()
         if self.tail_type == "str":
             assert self.heap is not None
             raw = active if positions is None else active[positions]

@@ -8,6 +8,7 @@ engines, the SQL front-end and the crackers operate on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -87,6 +88,11 @@ class Relation:
             column.name: BAT(f"{name}.{column.name}", tail_type=column.col_type)
             for column in schema
         }
+        # Serialises writers (reentrant, so callers can bundle "read the
+        # row count, then insert" into one atomic section).  Readers are
+        # lock-free: BAT appends publish the new count last, so a
+        # concurrent scan sees either the pre- or post-insert snapshot.
+        self.write_lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -156,9 +162,10 @@ class Relation:
             raise BATAlignmentError(
                 f"row has {len(row)} values, schema has {len(self.schema)} columns"
             )
-        oid = len(self)
-        for value, column in zip(row, self.schema):
-            self.bats[column.name].append(value)
+        with self.write_lock:
+            oid = len(self)
+            for value, column in zip(row, self.schema):
+                self.bats[column.name].append(value)
         return oid
 
     def insert_many(self, rows: Iterable[Sequence]) -> int:
@@ -166,8 +173,9 @@ class Relation:
         rows = list(rows)
         if not rows:
             return 0
-        for i, column in enumerate(self.schema):
-            self.bats[column.name].append_many([row[i] for row in rows])
+        with self.write_lock:
+            for i, column in enumerate(self.schema):
+                self.bats[column.name].append_many([row[i] for row in rows])
         return len(rows)
 
     # ------------------------------------------------------------------ #
@@ -220,9 +228,20 @@ class Relation:
         Numeric columns alias BAT storage when ``positions`` is None (the
         zero-copy scan path of the vectorized executor); with positions the
         gather is one fancy-index per column.
+
+        Full scans are clamped to the shortest column: a concurrent
+        INSERT publishes the column BATs one after another, so a scan
+        racing it could otherwise pair a column that already holds the
+        new rows with one that does not.  Clamping yields only fully
+        published rows — the pre-insert snapshot for the in-flight ones.
         """
         chosen = self.schema.names() if names is None else list(names)
-        return [self.column(name).decoded_array(positions) for name in chosen]
+        arrays = [self.column(name).decoded_array(positions) for name in chosen]
+        if positions is None and len(arrays) > 1:
+            shortest = min(len(array) for array in arrays)
+            if any(len(array) != shortest for array in arrays):
+                arrays = [array[:shortest] for array in arrays]
+        return arrays
 
     # ------------------------------------------------------------------ #
     # Fragmentation primitives (substrate for the crackers)

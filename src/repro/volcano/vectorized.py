@@ -181,7 +181,9 @@ class VecScan(VecOperator):
 
     def batches(self) -> Iterator[ColumnBatch]:
         arrays = self.relation.column_arrays()
-        total = len(self.relation)
+        # Row count from the gathered snapshot, not the live relation: a
+        # concurrent insert may have grown the BATs since the gather.
+        total = len(arrays[0]) if arrays else 0
         for start in range(0, total, self.batch_rows):
             stop = min(start + self.batch_rows, total)
             yield ColumnBatch(self.columns, [a[start:stop] for a in arrays])
@@ -216,15 +218,38 @@ class VecCrackedScan(VecOperator):
         self._names = names
         self.columns = [f"{prefix}.{name}" for name in names]
 
-    def batches(self) -> Iterator[ColumnBatch]:
-        positions = np.asarray(self.result.oids, dtype=np.int64)
+    def _selection_batch(self, result) -> ColumnBatch:
+        """One batch from a selection answer: the predicate column's span
+        passes through zero-copy, siblings arrive via one bulk gather."""
+        positions = np.asarray(result.oids, dtype=np.int64)
         arrays = []
         for name in self._names:
             if name == self.attr:
-                arrays.append(self.result.values)
+                arrays.append(result.values)
             else:
                 arrays.append(self.relation.column(name).decoded_array(positions))
-        yield ColumnBatch(self.columns, arrays)
+        return ColumnBatch(self.columns, arrays)
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        yield self._selection_batch(self.result)
+
+
+class VecShardedCrackedScan(VecCrackedScan):
+    """A sharded cracked answer as one zero-copy batch per shard.
+
+    The shard-parallel peer of :class:`VecCrackedScan` (``result`` is a
+    :class:`~repro.core.sharded_column.ShardedSelectionResult`): each
+    shard's contiguous cracker-column span becomes its own batch.
+    Downstream operators see an ordinary batch stream, so the whole
+    vector pipeline — selects, joins, aggregates — runs over shard
+    answers unchanged, concatenating only at pipeline breakers.
+    """
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        for shard_result in self.result.shard_results:
+            if shard_result.count == 0:
+                continue
+            yield self._selection_batch(shard_result)
 
 
 class VecSelect(VecOperator):

@@ -1,0 +1,96 @@
+"""Tests for the reader–writer lock guarding cracked columns."""
+
+import threading
+import time
+
+from repro.core import ReadWriteLock
+
+
+def test_readers_share():
+    lock = ReadWriteLock()
+    inside = []
+    barrier = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with lock.read_locked():
+            inside.append(threading.get_ident())
+            barrier.wait()  # all three readers are inside simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5)
+    assert len(inside) == 3
+
+
+def test_writer_excludes_writers_and_readers():
+    lock = ReadWriteLock()
+    log = []
+
+    def writer(tag):
+        with lock.write_locked():
+            log.append(f"{tag}-in")
+            time.sleep(0.02)
+            log.append(f"{tag}-out")
+
+    def reader():
+        with lock.read_locked():
+            log.append("r-in")
+            log.append("r-out")
+
+    threads = [
+        threading.Thread(target=writer, args=("w1",)),
+        threading.Thread(target=writer, args=("w2",)),
+        threading.Thread(target=reader),
+    ]
+    for thread in threads:
+        thread.start()
+        time.sleep(0.005)  # deterministic arrival order
+    for thread in threads:
+        thread.join(timeout=5)
+    # Critical sections never interleave: every "-in" is followed by its
+    # own "-out".
+    assert len(log) == 6
+    for i in range(0, 6, 2):
+        assert log[i].endswith("-in") and log[i + 1].endswith("-out")
+        assert log[i].split("-")[0] == log[i + 1].split("-")[0]
+
+
+def test_waiting_writer_blocks_new_readers():
+    lock = ReadWriteLock()
+    order = []
+    first_reader_in = threading.Event()
+    writer_waiting = threading.Event()
+
+    def long_reader():
+        with lock.read_locked():
+            first_reader_in.set()
+            writer_waiting.wait(timeout=5)
+            time.sleep(0.02)  # give the late reader time to queue
+            order.append("r1")
+
+    def writer():
+        first_reader_in.wait(timeout=5)
+        writer_waiting.set()
+        with lock.write_locked():
+            order.append("w")
+
+    def late_reader():
+        writer_waiting.wait(timeout=5)
+        time.sleep(0.005)  # arrive after the writer queued
+        with lock.read_locked():
+            order.append("r2")
+
+    threads = [
+        threading.Thread(target=long_reader),
+        threading.Thread(target=writer),
+        threading.Thread(target=late_reader),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5)
+    # Writer preference: the late reader must not overtake the queued
+    # writer.
+    assert order.index("w") < order.index("r2")

@@ -6,122 +6,63 @@ pipeline.  Both modes crack, so the sequences also exercise the adaptive
 reorganisation; results must match row-for-row (floats to within 1e-9
 relative, since the accumulation orders are the same but the aggregate
 arithmetic runs in numpy).
-"""
 
-import math
+The comparison/loading/workload machinery lives in the shared
+:mod:`oracle` harness; this module keeps only the tuple-vs-vector
+pairing, which is strict enough to demand *order* equality.
+"""
 
 import numpy as np
 import pytest
 
+from oracle import (
+    assert_engines_agree,
+    assert_rows_equal,
+    load_standard,
+    make_databases,
+    standard_query_suite,
+)
 from repro.sql import Database
-
-
-def _assert_rows_equal(tuple_rows, vector_rows, query):
-    assert len(tuple_rows) == len(vector_rows), query
-    for t_row, v_row in zip(tuple_rows, vector_rows):
-        assert len(t_row) == len(v_row), query
-        for t_val, v_val in zip(t_row, v_row):
-            if isinstance(t_val, float) or isinstance(v_val, float):
-                if t_val is None or v_val is None:
-                    assert t_val is None and v_val is None, query
-                else:
-                    assert math.isclose(
-                        float(t_val), float(v_val), rel_tol=1e-9, abs_tol=1e-12
-                    ), (query, t_val, v_val)
-            else:
-                assert t_val == v_val, (query, t_val, v_val)
-
-
-def _load(db: Database, seed: int, n_rows: int = 600) -> None:
-    rng = np.random.default_rng(seed)
-    db.execute("CREATE TABLE r (k integer, a integer, w float, tag varchar)")
-    db.execute("CREATE TABLE s (k integer, g integer)")
-    db.execute("CREATE TABLE t (g integer, label varchar)")
-    a = rng.integers(0, 1000, n_rows)
-    w = np.round(rng.uniform(0, 10, n_rows), 3)
-    tags = [f"t{int(x)}" for x in rng.integers(0, 6, n_rows)]
-    rows = ", ".join(
-        f"({i}, {int(a[i])}, {w[i]}, '{tags[i]}')" for i in range(n_rows)
-    )
-    db.execute(f"INSERT INTO r VALUES {rows}")
-    sk = rng.integers(0, n_rows, n_rows // 2)
-    sg = rng.integers(0, 9, n_rows // 2)
-    rows = ", ".join(f"({int(k)}, {int(g)})" for k, g in zip(sk, sg))
-    db.execute(f"INSERT INTO s VALUES {rows}")
-    rows = ", ".join(f"({g}, 'g{g}')" for g in range(9))
-    db.execute(f"INSERT INTO t VALUES {rows}")
-
-
-def _query_suite(rng) -> list[str]:
-    lows = rng.integers(0, 900, 6)
-    queries = []
-    for low in lows:
-        high = int(low) + int(rng.integers(10, 300))
-        queries.append(f"SELECT * FROM r WHERE a BETWEEN {int(low)} AND {high}")
-    queries += [
-        # one-sided, point, empty and contradictory ranges
-        "SELECT r.k, r.a FROM r WHERE a >= 700",
-        "SELECT r.a FROM r WHERE a < 120",
-        f"SELECT * FROM r WHERE a = {int(lows[0])}",
-        "SELECT * FROM r WHERE a BETWEEN 500 AND 100",
-        # residual predicates and projections
-        "SELECT r.k FROM r WHERE a > 300 AND a < 600 AND tag <> 't3'",
-        # joins (two- and three-way), with and without selections
-        "SELECT r.k, s.g FROM r, s WHERE r.k = s.k",
-        "SELECT r.a, s.g FROM r, s WHERE r.k = s.k AND r.a BETWEEN 200 AND 800",
-        "SELECT r.k, t.label FROM r, s, t WHERE r.k = s.k AND s.g = t.g "
-        "AND r.a >= 400",
-        # grouped aggregation, global aggregation, HAVING-less group math
-        "SELECT s.g, count(*), sum(r.a), avg(r.w), min(r.a), max(r.w) "
-        "FROM r, s WHERE r.k = s.k GROUP BY s.g",
-        "SELECT count(*), sum(r.a), avg(r.a) FROM r WHERE a > 250",
-        "SELECT r.tag, count(*), min(r.tag) FROM r GROUP BY r.tag",
-        # sorts (asc/desc/multi-key) and limits
-        "SELECT r.k, r.a FROM r WHERE a < 500 ORDER BY a DESC LIMIT 17",
-        "SELECT r.tag, r.a, r.k FROM r ORDER BY tag, a LIMIT 40",
-        "SELECT s.g, count(*) FROM r, s WHERE r.k = s.k GROUP BY s.g "
-        "ORDER BY g DESC",
-        "SELECT * FROM r WHERE a >= 100 LIMIT 5",
-    ]
-    return queries
 
 
 @pytest.mark.parametrize("seed", [3, 11, 42])
 class TestTupleVectorDifferential:
     def test_identical_result_sets(self, seed):
-        tuple_db = Database(cracking=True, mode="tuple")
-        vector_db = Database(cracking=True, mode="vector")
-        _load(tuple_db, seed)
-        _load(vector_db, seed)
+        databases = make_databases(
+            {
+                "tuple": dict(cracking=True, mode="tuple"),
+                "vector": dict(cracking=True, mode="vector"),
+            }
+        )
+        for db in databases.values():
+            load_standard(db, seed)
         rng = np.random.default_rng(seed + 1000)
-        for query in _query_suite(rng):
-            t_result = tuple_db.execute(query)
-            v_result = vector_db.execute(query)
-            assert t_result.columns == v_result.columns, query
-            _assert_rows_equal(t_result.rows, v_result.rows, query)
+        assert_engines_agree(databases, standard_query_suite(rng), ordered=True)
 
     def test_identical_without_cracking(self, seed):
-        tuple_db = Database(cracking=False, mode="tuple")
-        vector_db = Database(cracking=False, mode="vector")
-        _load(tuple_db, seed)
-        _load(vector_db, seed)
+        databases = make_databases(
+            {
+                "tuple": dict(cracking=False, mode="tuple"),
+                "vector": dict(cracking=False, mode="vector"),
+            }
+        )
+        for db in databases.values():
+            load_standard(db, seed)
         rng = np.random.default_rng(seed + 2000)
-        for query in _query_suite(rng)[:12]:
-            t_result = tuple_db.execute(query)
-            v_result = vector_db.execute(query)
-            assert t_result.columns == v_result.columns, query
-            _assert_rows_equal(t_result.rows, v_result.rows, query)
+        assert_engines_agree(
+            databases, standard_query_suite(rng)[:12], ordered=True
+        )
 
     def test_insert_select_materialises_identically(self, seed):
         tuple_db = Database(cracking=True, mode="tuple")
         vector_db = Database(cracking=True, mode="vector")
-        _load(tuple_db, seed)
-        _load(vector_db, seed)
+        load_standard(tuple_db, seed)
+        load_standard(vector_db, seed)
         stmt = "INSERT INTO narrow SELECT * FROM r WHERE a BETWEEN 250 AND 750"
         tuple_db.execute(stmt)
         vector_db.execute(stmt)
         probe = "SELECT * FROM narrow ORDER BY k"
-        _assert_rows_equal(
+        assert_rows_equal(
             tuple_db.execute(probe).rows, vector_db.execute(probe).rows, stmt
         )
 
@@ -133,7 +74,7 @@ class TestModePlumbing:
         db.execute("INSERT INTO r VALUES (1, 10), (2, 20), (3, 30)")
         default = db.execute("SELECT * FROM r WHERE a >= 20")
         overridden = db.execute("SELECT * FROM r WHERE a >= 20", mode="vector")
-        _assert_rows_equal(default.rows, overridden.rows, "override")
+        assert_rows_equal(default.rows, overridden.rows, "override")
 
     def test_unknown_mode_rejected(self):
         from repro.errors import ReproError

@@ -64,3 +64,35 @@ def test_ablation_swap_kernel_on_presorted_input(benchmark):
         return crack_in_two(values, oids, 0, N, N // 2)
 
     assert benchmark(crack) == N // 2
+
+
+@pytest.mark.parametrize(
+    "threshold", [0, 1024], ids=["unbounded", "threshold-1024"]
+)
+def test_ablation_crack_threshold(benchmark, threshold):
+    """Column-level ablation: piece-size-bounded vs unbounded cracking.
+
+    A burst of random ranges against one cracker column; the bounded
+    variant stops splitting at L1-sized pieces and answers the tails
+    with vectorised edge scans, trading bounded index growth for the
+    per-query scan of at most two threshold-sized pieces.
+    """
+    from repro.core.cracked_column import CrackedColumn
+
+    rng = np.random.default_rng(0)
+    base = rng.permutation(N).astype(np.int64)
+    lows = rng.integers(0, N, 64)
+    widths = rng.integers(1, N // 4, 64)
+
+    def setup():
+        column = CrackedColumn.from_arrays(base, crack_threshold=threshold)
+        return (column,), {}
+
+    def burst(column):
+        total = 0
+        for low, width in zip(lows, widths):
+            total += column.count_range(int(low), int(low + width))
+        return total
+
+    total = benchmark.pedantic(burst, setup=setup, rounds=3, iterations=1)
+    assert total > 0

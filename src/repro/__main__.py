@@ -1,4 +1,4 @@
-"""Command-line entry point: run the paper's experiments, or SQL.
+"""Command-line entry point: run the paper's experiments, SQL, or benches.
 
 Usage::
 
@@ -6,12 +6,14 @@ Usage::
     python -m repro fig2                 # run one experiment (full size)
     python -m repro all --quick          # all experiments, reduced sizes
     python -m repro sql --mode vector -e "SELECT ..."   # embedded SQL
+    python -m repro bench hotpath        # run benchmarks/bench_hotpath.py
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.experiments import (
     fig1,
@@ -97,6 +99,82 @@ def run_sql(argv: list[str]) -> int:
     return 0
 
 
+def bench_directory() -> Path:
+    """The repository's ``benchmarks/`` directory (source checkouts only)."""
+    return Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def run_bench(argv: list[str]) -> int:
+    """The ``bench`` subcommand: run any ``benchmarks/bench_*.py`` by name.
+
+    Each bench module's ``main()`` runs its full-size sweep and writes
+    its JSON result next to the script, so benches stop being ad-hoc
+    ``python benchmarks/bench_....py`` invocations.  ``--rows`` overrides
+    the row count for benches whose ``main`` takes ``n_rows`` (used by CI
+    to smoke-run at tiny sizes).
+    """
+    import importlib.util
+    import inspect
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run a benchmarks/bench_*.py sweep by name; the bench "
+        "writes its JSON result next to its script.",
+    )
+    parser.add_argument(
+        "name", nargs="?",
+        help="bench name, with or without the bench_ prefix (e.g. hotpath)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available benches"
+    )
+    parser.add_argument(
+        "--rows", type=int, default=None,
+        help="row-count override for benches with an n_rows parameter",
+    )
+    args = parser.parse_args(argv)
+    directory = bench_directory()
+    if not directory.is_dir():
+        print(
+            f"error: bench directory {directory} not found (benches run "
+            "from a source checkout)",
+            file=sys.stderr,
+        )
+        return 2
+    available = sorted(path.stem for path in directory.glob("bench_*.py"))
+    if args.list or not args.name:
+        print("Available benches (repro bench <name>):")
+        for stem in available:
+            print(f"  {stem.removeprefix('bench_')}")
+        return 0
+    stem = args.name if args.name.startswith("bench_") else f"bench_{args.name}"
+    path = directory / f"{stem}.py"
+    if not path.is_file():
+        print(
+            f"unknown bench {args.name!r}; try: python -m repro bench --list",
+            file=sys.stderr,
+        )
+        return 2
+    spec = importlib.util.spec_from_file_location(stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    bench_main = getattr(module, "main", None)
+    if bench_main is None:
+        print(f"error: {path.name} has no main() entry point", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.rows is not None:
+        if "n_rows" not in inspect.signature(bench_main).parameters:
+            print(
+                f"error: {path.name} main() takes no n_rows parameter",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["n_rows"] = args.rows
+    bench_main(**kwargs)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help", "list"):
@@ -108,10 +186,13 @@ def main(argv: list[str] | None = None) -> int:
         print("\nRun: python -m repro <experiment> [--quick] [--rows N]")
         print("     python -m repro all [--quick]")
         print("     python -m repro sql [--mode tuple|vector] -e 'SQL...'")
+        print("     python -m repro bench <name> [--rows N] | bench --list")
         return 0
     target, *rest = argv
     if target == "sql":
         return run_sql(rest)
+    if target == "bench":
+        return run_bench(rest)
     if target == "all":
         for name, module in EXPERIMENTS.items():
             print(f"===== {name} =====")

@@ -13,13 +13,21 @@ first query).  Every range query then:
    piece, otherwise up to two crack-in-twos),
 3. answers with a zero-copy contiguous span of the cracker column.
 
+With a ``crack_threshold`` > 0, step 2 stops once the touched piece is
+smaller than the threshold (the "stop at L1-sized pieces" refinement of
+the cracking literature; §3.4.2 discusses disk-block cut-off points):
+the bound's piece is answered by a vectorised filter scan instead of a
+split, so the cracker index stops fragmenting once pieces reach the
+cut-off while the answer stays exact.
+
 Updates append to a pending area that is merged piece-wise on the next
 query (the "updates" future-work item of §7, implemented as an extension).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -52,14 +60,21 @@ class SelectionResult:
     When the column was cracked for the query, the answer is the
     contiguous span ``[start, stop)`` of the cracker column and ``oids`` /
     ``values`` are zero-copy slices.  When a strategy declined to crack,
-    the answer may be a gathered (non-contiguous) subset; ``contiguous``
+    or threshold-bounded cracking answered an edge piece by scanning, the
+    answer may be a gathered (non-contiguous) subset; ``contiguous``
     tells which case applies.
+
+    ``owner`` is the producing :class:`CrackedColumn` for contiguous
+    answers; it enables the copy-on-demand :meth:`snapshot` protocol.
     """
 
     oids: np.ndarray
     values: np.ndarray
     start: int | None = None
     stop: int | None = None
+    owner: "CrackedColumn | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def contiguous(self) -> bool:
@@ -70,12 +85,33 @@ class SelectionResult:
         return len(self.oids)
 
     def snapshot(self) -> "SelectionResult":
-        """A private copy, stable against later in-place cracks.
+        """A stable view, immune to later in-place cracks.
 
         The concurrent SQL layer takes one before releasing a column or
         shard lock: zero-copy answers are views into cracker storage,
         which the next crack would shuffle underneath the holder.
+
+        The copy is paid *on demand*, not here:
+
+        * a gathered (non-contiguous) answer is already a private array,
+          so it is returned as-is — no copy ever;
+        * a contiguous span produced by a known column registers itself
+          with that column, which retires (copies) its storage arrays
+          just before the next in-place crack *if* any registered
+          snapshot is still alive.  Converged workloads — the sustained
+          phase, where cracks no longer happen — therefore never copy.
+
+        Callers may hold the snapshot or its ``oids``/``values`` arrays;
+        views *derived* from those arrays (further slicing) are only
+        guaranteed stable while the snapshot or its arrays stay alive.
+        Must be called while holding the column's lock (the SQL layer's
+        discipline), so registration cannot race an in-flight crack.
         """
+        if not self.contiguous:
+            return self
+        if self.owner is not None:
+            self.owner._register_snapshot(self)
+            return self
         return SelectionResult(
             oids=self.oids.copy(),
             values=self.values.copy(),
@@ -109,6 +145,10 @@ class CrackedColumn:
         kernel: 'vectorised' (default) or 'swaps' — see :mod:`repro.core.crack`.
         crack_in_three_enabled: when False, double-sided ranges use two
             successive crack-in-twos (the paper discusses both; ablation).
+        crack_threshold: stop splitting pieces smaller than this many
+            tuples; a bound falling in such a piece is answered by a
+            vectorised filter scan of that piece instead of a crack.
+            0 (default) cracks unconditionally (the paper's prototype).
     """
 
     def __init__(
@@ -116,6 +156,7 @@ class CrackedColumn:
         source: BAT,
         kernel: str = KERNEL_VECTORISED,
         crack_in_three_enabled: bool = True,
+        crack_threshold: int = 0,
     ) -> None:
         if source.tail_type not in ("int", "float", "oid"):
             raise CrackError(
@@ -127,6 +168,7 @@ class CrackedColumn:
             source.head_array().copy(),
             kernel,
             crack_in_three_enabled,
+            crack_threshold,
         )
 
     @classmethod
@@ -136,6 +178,7 @@ class CrackedColumn:
         oids: np.ndarray | None = None,
         kernel: str = KERNEL_VECTORISED,
         crack_in_three_enabled: bool = True,
+        crack_threshold: int = 0,
     ) -> "CrackedColumn":
         """Build a cracker directly over value/oid arrays (no BAT).
 
@@ -159,7 +202,10 @@ class CrackedColumn:
                 )
         column = cls.__new__(cls)
         column.source = None
-        column._setup(values.copy(), oids.copy(), kernel, crack_in_three_enabled)
+        column._setup(
+            values.copy(), oids.copy(), kernel, crack_in_three_enabled,
+            crack_threshold,
+        )
         return column
 
     def _setup(
@@ -168,11 +214,17 @@ class CrackedColumn:
         oids: np.ndarray,
         kernel: str,
         crack_in_three_enabled: bool,
+        crack_threshold: int,
     ) -> None:
         if kernel not in _KERNELS:
             raise CrackError(f"unknown kernel {kernel!r}; expected one of {_KERNELS}")
+        if crack_threshold < 0:
+            raise CrackError(
+                f"crack_threshold must be >= 0, got {crack_threshold}"
+            )
         self.kernel = kernel
         self.crack_in_three_enabled = crack_in_three_enabled
+        self.crack_threshold = crack_threshold
         self.values = values
         self.oids = oids
         self.index = CrackerIndex(len(self.values))
@@ -181,6 +233,12 @@ class CrackedColumn:
         self._pending_values: list[np.ndarray] = []
         self._pending_oids: list[np.ndarray] = []
         self._next_oid = int(self.oids.max()) + 1 if len(self.oids) else 0
+        # Weak references to live zero-copy snapshots (and their
+        # handed-out view arrays); storage is retired — copied — before
+        # the next in-place crack while any is still referenced.  A
+        # plain ref list, not a WeakSet: neither dataclass results nor
+        # ndarrays are hashable.  See snapshot().
+        self._live_snapshot_refs: list[weakref.ref] = []
 
     def __len__(self) -> int:
         return len(self.values)
@@ -192,6 +250,41 @@ class CrackedColumn:
     @property
     def pending_count(self) -> int:
         return sum(len(chunk) for chunk in self._pending_values)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot copy-on-write
+    # ------------------------------------------------------------------ #
+
+    def _register_snapshot(self, result: SelectionResult) -> None:
+        """Track a zero-copy answer whose stability snapshot() promised."""
+        refs = self._live_snapshot_refs
+        refs.append(weakref.ref(result))
+        refs.append(weakref.ref(result.oids))
+        refs.append(weakref.ref(result.values))
+        if len(refs) > 64:
+            # Bound the shield's liveness scan: drop refs whose snapshot
+            # has already been garbage collected.
+            self._live_snapshot_refs = [r for r in refs if r() is not None]
+
+    def _shield_snapshots(self) -> None:
+        """Retire current storage if any registered snapshot is alive.
+
+        Called (under the caller's column/shard lock) immediately before
+        an in-place crack kernel runs.  Copying the storage arrays and
+        installing the copies makes the retired generation immutable:
+        every outstanding view — including views numpy re-based onto the
+        old root array — stays valid forever, and the kernel shuffles
+        only the fresh generation.  When no snapshot survives (the
+        common case: results are consumed within their statement), this
+        is an empty-list check and no copy happens.
+        """
+        refs = self._live_snapshot_refs
+        if not refs:
+            return
+        if any(ref() is not None for ref in refs):
+            self.values = self.values.copy()
+            self.oids = self.oids.copy()
+        self._live_snapshot_refs = []
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -229,6 +322,8 @@ class CrackedColumn:
         high_kind = KIND_LE if high_inclusive else KIND_LT
         if not crack:
             return self._scan_select(low, high, low_kind, high_kind)
+        if self.crack_threshold > 0:
+            return self._bounded_select(low, high, low_kind, high_kind)
         start = 0
         stop = len(self.values)
         if low is not None and high is not None:
@@ -237,12 +332,7 @@ class CrackedColumn:
             start = self._ensure_boundary(low, low_kind)
         elif high is not None:
             stop = self._ensure_boundary(high, high_kind)
-        return SelectionResult(
-            oids=self.oids[start:stop],
-            values=self.values[start:stop],
-            start=start,
-            stop=stop,
-        )
+        return self._span_result(start, stop)
 
     def count_range(
         self,
@@ -257,6 +347,117 @@ class CrackedColumn:
             low, high, low_inclusive=low_inclusive, high_inclusive=high_inclusive,
             crack=crack,
         ).count
+
+    def _span_result(self, start: int, stop: int) -> SelectionResult:
+        """A zero-copy contiguous answer (registers nothing by itself)."""
+        return SelectionResult(
+            oids=self.oids[start:stop],
+            values=self.values[start:stop],
+            start=start,
+            stop=stop,
+            owner=self,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Threshold-bounded cracking
+    # ------------------------------------------------------------------ #
+
+    def _resolve_bound(self, value, kind: str) -> tuple[int | None, Piece | None]:
+        """Resolve one bound to ``(position, None)`` or ``(None, piece)``.
+
+        The position form means the boundary exists (found or just
+        cracked); the piece form means the bound's piece is below the
+        crack threshold and must be answered by scanning it.
+        """
+        existing = self.index.lookup(value, kind)
+        if existing is not None:
+            return existing, None
+        piece = self.index.piece_for(value, kind)
+        if piece.size < self.crack_threshold:
+            return None, piece
+        self.query_stats.pieces_inspected += 1
+        split = self._kernel_two(piece.start, piece.stop, value, kind)
+        self.index.add(value, kind, split)
+        return split, None
+
+    def _edge_positions(self, piece: Piece, low, high, low_kind, high_kind) -> np.ndarray:
+        """Qualifying storage positions inside one scanned edge piece.
+
+        Applies the *full* predicate, so an edge piece shared by both
+        bounds (or one whose value range pokes past the other bound) is
+        still filtered exactly.
+        """
+        window = self.values[piece.start : piece.stop]
+        mask = np.ones(len(window), dtype=bool)
+        if low is not None:
+            mask &= window >= low if low_kind == KIND_LT else window > low
+        if high is not None:
+            mask &= window < high if high_kind == KIND_LT else window <= high
+        self.query_stats.tuples_scanned += len(window)
+        return piece.start + np.flatnonzero(mask)
+
+    def _bounded_select(self, low, high, low_kind: str, high_kind: str) -> SelectionResult:
+        """Range select that never splits a piece below the threshold."""
+        n = len(self.values)
+        if low is None and high is None:
+            return self._span_result(0, n)
+        if low is not None and high is not None:
+            low_existing = self.index.lookup(low, low_kind)
+            high_existing = self.index.lookup(high, high_kind)
+            if low_existing is None and high_existing is None:
+                low_piece = self.index.piece_for(low, low_kind)
+                high_piece = self.index.piece_for(high, high_kind)
+                same_piece = (
+                    low_piece.start == high_piece.start
+                    and low_piece.stop == high_piece.stop
+                )
+                if same_piece and low_piece.size >= self.crack_threshold:
+                    start, stop = self._crack_both(low, high, low_kind, high_kind)
+                    return self._span_result(start, stop)
+        # Resolve sequentially: a crack for the low bound may split the
+        # piece the high bound falls in, so the high lookup runs fresh.
+        low_pos: int | None = None
+        low_piece = None
+        if low is not None:
+            low_pos, low_piece = self._resolve_bound(low, low_kind)
+        high_pos: int | None = None
+        high_piece = None
+        if high is not None:
+            high_pos, high_piece = self._resolve_bound(high, high_kind)
+        if low_piece is not None and high_piece is not None and (
+            low_piece.start == high_piece.start
+            and low_piece.stop == high_piece.stop
+        ):
+            # Both bounds in one sub-threshold piece: scan it once.  Both
+            # coordinates must match — a degenerate empty piece legally
+            # shares its start with the adjacent piece, and conflating
+            # them would scan only the empty one.
+            edge = self._edge_positions(low_piece, low, high, low_kind, high_kind)
+            return SelectionResult(oids=self.oids[edge], values=self.values[edge])
+        core_start = 0 if low is None else (
+            low_pos if low_piece is None else low_piece.stop
+        )
+        core_stop = n if high is None else (
+            high_pos if high_piece is None else high_piece.start
+        )
+        core_stop = max(core_start, core_stop)
+        if low_piece is None and high_piece is None:
+            return self._span_result(core_start, core_stop)
+        oid_parts = []
+        value_parts = []
+        if low_piece is not None:
+            edge = self._edge_positions(low_piece, low, high, low_kind, high_kind)
+            oid_parts.append(self.oids[edge])
+            value_parts.append(self.values[edge])
+        oid_parts.append(self.oids[core_start:core_stop])
+        value_parts.append(self.values[core_start:core_stop])
+        if high_piece is not None:
+            edge = self._edge_positions(high_piece, low, high, low_kind, high_kind)
+            oid_parts.append(self.oids[edge])
+            value_parts.append(self.values[edge])
+        return SelectionResult(
+            oids=np.concatenate(oid_parts), values=np.concatenate(value_parts)
+        )
 
     # ------------------------------------------------------------------ #
     # Updates (merge-on-query extension)
@@ -280,7 +481,15 @@ class CrackedColumn:
         return oids
 
     def _merge_pending(self) -> None:
-        """Fold pending tuples into their pieces, preserving all invariants."""
+        """Fold pending tuples into their pieces, preserving all invariants.
+
+        Fully vectorised over the cracker index's boundary arrays: piece
+        assignment is two ``searchsorted`` passes, the scatter is one
+        ``np.insert``, and the boundary shift is one prefix-sum add — no
+        per-piece Python loop and no :class:`Piece` object rebuild.  The
+        merge writes *new* storage arrays, so outstanding zero-copy
+        snapshots keep their (retired) generation untouched.
+        """
         if not self._pending_values:
             return
         pending_values = np.concatenate(self._pending_values)
@@ -288,67 +497,44 @@ class CrackedColumn:
         self._pending_values.clear()
         self._pending_oids.clear()
         self.query_stats.merged_updates += len(pending_values)
-        pieces = self.index.pieces()
-        if len(pieces) == 1:
+        boundary_count = len(self.index)
+        if boundary_count == 0:
             self.values = np.concatenate([self.values, pending_values])
             self.oids = np.concatenate([self.oids, pending_oids])
             self.index.column_size = len(self.values)
+            # The merge installed fresh arrays: the old generation is
+            # retired, so outstanding snapshots need no further shielding.
+            self._live_snapshot_refs = []
             return
-        piece_of = self._assign_pieces(pending_values, pieces)
+        piece_of = self.index.piece_assignment(pending_values)
+        if piece_of.size and piece_of.max() > boundary_count:
+            raise CrackError("internal error: pending value assigned past last piece")
         order = np.argsort(piece_of, kind="stable")
         pending_values = pending_values[order]
         pending_oids = pending_oids[order]
         piece_of = piece_of[order]
-        counts = np.bincount(piece_of, minlength=len(pieces))
-        new_values = np.empty(len(self.values) + len(pending_values), self.values.dtype)
-        new_oids = np.empty(len(self.oids) + len(pending_oids), np.int64)
-        write = 0
-        pending_cursor = 0
-        shift = 0
-        new_positions: list[int] = []
-        for piece_index, piece in enumerate(pieces):
-            size = piece.size
-            new_values[write : write + size] = self.values[piece.start : piece.stop]
-            new_oids[write : write + size] = self.oids[piece.start : piece.stop]
-            write += size
-            extra = int(counts[piece_index])
-            if extra:
-                new_values[write : write + extra] = pending_values[
-                    pending_cursor : pending_cursor + extra
-                ]
-                new_oids[write : write + extra] = pending_oids[
-                    pending_cursor : pending_cursor + extra
-                ]
-                write += extra
-                pending_cursor += extra
-                shift += extra
-            if piece.upper is not None:
-                new_positions.append(piece.upper.position + shift)
-        self.values = new_values
-        self.oids = new_oids
-        boundaries = self.index.boundaries()
-        self.index = CrackerIndex(len(self.values))
-        for boundary, position in zip(boundaries, new_positions):
-            self.index.add(boundary.value, boundary.kind, position)
-
-    def _assign_pieces(self, pending: np.ndarray, pieces: list[Piece]) -> np.ndarray:
-        """Piece index each pending value belongs to (boundary semantics)."""
-        piece_of = np.zeros(len(pending), dtype=np.int64)
-        for boundary in self.index.boundaries():
-            if boundary.kind == KIND_LT:
-                goes_right = pending >= boundary.value
-            else:
-                goes_right = pending > boundary.value
-            piece_of += goes_right.astype(np.int64)
-        if piece_of.size and piece_of.max() >= len(pieces):
-            raise CrackError("internal error: pending value assigned past last piece")
-        return piece_of
+        counts = np.bincount(piece_of, minlength=boundary_count + 1)
+        positions = self.index.positions()
+        # Insert each pending tuple at its piece's start: np.insert keeps
+        # equal-index insertions in argument order, and any slot inside
+        # the piece satisfies the piece's value bounds.
+        starts = np.empty(boundary_count + 1, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = positions
+        insert_at = starts[piece_of]
+        self.values = np.insert(self.values, insert_at, pending_values)
+        self.oids = np.insert(self.oids, insert_at, pending_oids)
+        self.index.merge_shift(counts, len(self.values))
+        # np.insert built fresh storage: the pre-merge generation is
+        # retired, so outstanding snapshots need no further shielding.
+        self._live_snapshot_refs = []
 
     # ------------------------------------------------------------------ #
     # Cracking internals
     # ------------------------------------------------------------------ #
 
     def _kernel_two(self, start: int, stop: int, pivot, kind: str) -> int:
+        self._shield_snapshots()
         if self.kernel == KERNEL_SWAPS:
             return crack_in_two_swaps(
                 self.values, self.oids, start, stop, pivot, kind, stats=self.crack_stats
@@ -362,6 +548,7 @@ class CrackedColumn:
         )
 
     def _kernel_three(self, start: int, stop: int, low, high, low_kind, high_kind):
+        self._shield_snapshots()
         kernel = (
             crack_in_three_rebuild if self.kernel == KERNEL_REBUILD else crack_in_three
         )
@@ -411,6 +598,7 @@ class CrackedColumn:
                 return split_low, split_high
             if same_piece:
                 self.query_stats.pieces_inspected += 1
+                self._shield_snapshots()
                 split_low, split_high = crack_in_three_via_two(
                     self.values,
                     self.oids,

@@ -14,14 +14,24 @@ We represent the index as a sorted sequence of *boundaries*.  A boundary
 
 Consecutive boundaries delimit *pieces*; each piece knows its value range
 and its location ``[start, stop)`` inside the cracker column — exactly the
-(min,max)/size/location triple of the paper.  Python's ``bisect`` over a
-sorted key list plays the role of the interval-tree navigation.
+(min,max)/size/location triple of the paper.
+
+Storage is a structure-of-arrays: three parallel numpy arrays (boundary
+value, kind rank, storage position) kept sorted by ``(value, rank)``, so
+the interval-tree navigation of the paper becomes one ``np.searchsorted``
+per probe and bulk operations (position shifts, merge bookkeeping,
+invariant checks, pending-update piece assignment) are single vectorised
+passes instead of Python loops over boundary objects.  :class:`Boundary`
+and :class:`Piece` remain the (cheap, on-demand) object views handed to
+callers; the sustained-phase query path never materialises them except
+for the one or two pieces a probe actually touches.
 """
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.crack import KIND_LE, KIND_LT
 from repro.errors import CrackerIndexError
@@ -29,6 +39,10 @@ from repro.errors import CrackerIndexError
 #: Sort rank of boundary kinds at equal values: (v,'lt') precedes (v,'le')
 #: because the region < v is a prefix of the region <= v.
 _KIND_RANK = {KIND_LT: 0, KIND_LE: 1}
+_RANK_KIND = (KIND_LT, KIND_LE)
+
+#: Initial boundary-array capacity (grown by doubling).
+_MIN_CAPACITY = 16
 
 
 @dataclass(frozen=True)
@@ -76,14 +90,35 @@ class Piece:
 
 
 class CrackerIndex:
-    """Sorted boundary set over a cracker column of ``column_size`` tuples."""
+    """Sorted boundary set over a cracker column of ``column_size`` tuples.
+
+    Internally three parallel arrays sorted by ``(value, kind-rank)``:
+    ``_values`` (float64 navigation keys), ``_ranks`` (0 for 'lt', 1 for
+    'le') and ``_positions`` (int64 storage positions).  ``_exact`` keeps
+    the boundary values as originally supplied (int vs float), so
+    reconstructed :class:`Boundary` objects and piece descriptions show
+    what the caller cracked on, not a float coercion, and equality
+    decisions (lookup hits, re-add detection) compare the exact values.
+
+    Boundary values must be exactly representable as float64 navigation
+    keys; :meth:`add` rejects integers beyond 2**53 instead of silently
+    mis-sorting them (float columns and the int domains the paper's
+    workloads use are always representable).
+    """
 
     def __init__(self, column_size: int) -> None:
         if column_size < 0:
             raise CrackerIndexError(f"column_size must be >= 0, got {column_size}")
         self.column_size = column_size
-        self._keys: list[tuple] = []
-        self._boundaries: list[Boundary] = []
+        self._count = 0
+        self._values = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._ranks = np.empty(_MIN_CAPACITY, dtype=np.int8)
+        self._positions = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        self._exact: list = []
+        # The [:count] view of _values, refreshed on add/remove: probes
+        # call its searchsorted method directly instead of re-slicing —
+        # the probe is the innermost operation of every converged query.
+        self._active_values = self._values[:0]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -91,79 +126,105 @@ class CrackerIndex:
 
     def __len__(self) -> int:
         """Number of boundaries (pieces - 1 for a non-empty column)."""
-        return len(self._boundaries)
+        return self._count
 
     @property
     def piece_count(self) -> int:
-        return len(self._boundaries) + 1
+        return self._count + 1
+
+    def positions(self) -> np.ndarray:
+        """Boundary storage positions in boundary order (a private copy)."""
+        return self._positions[: self._count].copy()
+
+    def boundary_at(self, index: int) -> Boundary:
+        """The ``index``-th boundary in sorted order."""
+        if not 0 <= index < self._count:
+            raise CrackerIndexError(
+                f"boundary index {index} out of range 0..{self._count - 1}"
+            )
+        return Boundary(
+            value=self._exact[index],
+            kind=_RANK_KIND[self._ranks[index]],
+            position=int(self._positions[index]),
+        )
 
     def boundaries(self) -> list[Boundary]:
         """All boundaries in sorted order."""
-        return list(self._boundaries)
+        return [self.boundary_at(i) for i in range(self._count)]
 
-    def pieces(self) -> list[Piece]:
-        """All pieces, left to right."""
-        result = []
-        previous: Boundary | None = None
-        for boundary in self._boundaries:
-            result.append(
-                Piece(
-                    start=0 if previous is None else previous.position,
-                    stop=boundary.position,
-                    lower=previous,
-                    upper=boundary,
-                )
+    def piece_at(self, index: int) -> Piece:
+        """The ``index``-th piece (0-based, left to right)."""
+        if not 0 <= index <= self._count:
+            raise CrackerIndexError(
+                f"piece index {index} out of range 0..{self._count}"
             )
-            previous = boundary
-        result.append(
-            Piece(
-                start=0 if previous is None else previous.position,
-                stop=self.column_size,
-                lower=previous,
-                upper=None,
-            )
-        )
-        return result
-
-    def piece_sizes(self) -> list[int]:
-        """Sizes of all pieces, left to right."""
-        return [piece.size for piece in self.pieces()]
-
-    # ------------------------------------------------------------------ #
-    # Navigation
-    # ------------------------------------------------------------------ #
-
-    def lookup(self, value, kind: str) -> int | None:
-        """Position of an existing boundary ``(value, kind)``, or None."""
-        key = (value, _KIND_RANK.get(kind, -1))
-        if key[1] < 0:
-            raise CrackerIndexError(f"unknown boundary kind {kind!r}")
-        index = bisect.bisect_left(self._keys, key)
-        if index < len(self._keys) and self._keys[index] == key:
-            return self._boundaries[index].position
-        return None
-
-    def piece_for(self, value, kind: str) -> Piece:
-        """The piece a new boundary ``(value, kind)`` would split.
-
-        If the boundary already exists the returned piece is degenerate
-        (the existing boundary is both its lower and upper bound is NOT
-        returned; instead the piece to the *left* of the boundary is
-        returned with ``stop`` equal to the boundary position).  Callers
-        should test :meth:`lookup` first when they need to skip the crack.
-        """
-        key = (value, _KIND_RANK.get(kind, -1))
-        if key[1] < 0:
-            raise CrackerIndexError(f"unknown boundary kind {kind!r}")
-        index = bisect.bisect_left(self._keys, key)
-        lower = self._boundaries[index - 1] if index > 0 else None
-        upper = self._boundaries[index] if index < len(self._boundaries) else None
+        lower = self.boundary_at(index - 1) if index > 0 else None
+        upper = self.boundary_at(index) if index < self._count else None
         return Piece(
             start=0 if lower is None else lower.position,
             stop=self.column_size if upper is None else upper.position,
             lower=lower,
             upper=upper,
         )
+
+    def pieces(self) -> list[Piece]:
+        """All pieces, left to right."""
+        return [self.piece_at(i) for i in range(self._count + 1)]
+
+    def piece_sizes(self) -> list[int]:
+        """Sizes of all pieces, left to right (one vectorised diff)."""
+        edges = np.empty(self._count + 2, dtype=np.int64)
+        edges[0] = 0
+        edges[1 : self._count + 1] = self._positions[: self._count]
+        edges[self._count + 1] = self.column_size
+        return np.diff(edges).tolist()
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+
+    def _rank_of(self, kind: str) -> int:
+        rank = _KIND_RANK.get(kind, -1)
+        if rank < 0:
+            raise CrackerIndexError(f"unknown boundary kind {kind!r}")
+        return rank
+
+    def _locate(self, value, rank: int) -> int:
+        """bisect_left over the composite ``(value, rank)`` keys."""
+        n = self._count
+        index = int(self._active_values.searchsorted(value, side="left"))
+        # At most two boundaries share a value (lt and le), so this walk
+        # over the equal-value run is O(1).
+        while index < n and self._values[index] == value and self._ranks[index] < rank:
+            index += 1
+        return index
+
+    def lookup(self, value, kind: str) -> int | None:
+        """Position of an existing boundary ``(value, kind)``, or None."""
+        rank = self._rank_of(kind)
+        index = self._locate(value, rank)
+        if (
+            index < self._count
+            and self._ranks[index] == rank
+            and self._exact[index] == value
+        ):
+            return int(self._positions[index])
+        return None
+
+    def piece_for(self, value, kind: str) -> Piece:
+        """The piece a new boundary ``(value, kind)`` would split.
+
+        If the boundary already exists, the piece *left* of it is
+        returned: its ``upper`` is the existing boundary, so ``stop``
+        equals the existing boundary's position, and the piece is
+        degenerate (empty) whenever the existing boundary coincides with
+        its left neighbour.  Callers that must skip the crack when the
+        boundary is already administered should test :meth:`lookup`
+        first; :meth:`piece_for` alone cannot distinguish "would split
+        this piece" from "already bounded here".
+        """
+        rank = self._rank_of(kind)
+        return self.piece_at(self._locate(value, rank))
 
     def position_bounding(self, value, kind: str) -> int:
         """The column position separating left/right of ``(value, kind)``.
@@ -175,9 +236,37 @@ class CrackerIndex:
             raise CrackerIndexError(f"boundary ({value!r}, {kind!r}) not present")
         return position
 
+    def piece_assignment(self, values: np.ndarray) -> np.ndarray:
+        """Piece index each of ``values`` belongs to (boundary semantics).
+
+        Vectorised: a value belongs right of boundary ``(v, 'lt')`` when
+        it is ``>= v`` and right of ``(v, 'le')`` when it is ``> v``, so
+        its piece index is ``#(boundaries with value <= it)`` minus the
+        'le' boundaries whose value equals it exactly.  Used by the
+        merge-on-query update path to scatter pending tuples into their
+        pieces without materialising any :class:`Piece` objects.
+        """
+        n = self._count
+        if n == 0:
+            return np.zeros(len(values), dtype=np.int64)
+        keys = self._values[:n]
+        c_left = np.searchsorted(keys, values, side="left")
+        c_right = np.searchsorted(keys, values, side="right")
+        le_cum = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._ranks[:n] == 1, out=le_cum[1:])
+        return (c_right - (le_cum[c_right] - le_cum[c_left])).astype(np.int64)
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
+
+    def _grow(self) -> None:
+        capacity = max(_MIN_CAPACITY, 2 * len(self._values))
+        for name in ("_values", "_ranks", "_positions"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[: self._count] = old[: self._count]
+            setattr(self, name, fresh)
 
     def add(self, value, kind: str, position: int) -> Boundary:
         """Insert boundary ``(value, kind)`` at storage ``position``.
@@ -189,41 +278,62 @@ class CrackerIndex:
             raise CrackerIndexError(
                 f"boundary position {position} out of range 0..{self.column_size}"
             )
-        key = (value, _KIND_RANK.get(kind, -1))
-        if key[1] < 0:
-            raise CrackerIndexError(f"unknown boundary kind {kind!r}")
-        index = bisect.bisect_left(self._keys, key)
-        if index < len(self._keys) and self._keys[index] == key:
-            existing = self._boundaries[index]
-            if existing.position != position:
+        if isinstance(value, np.generic):
+            value = value.item()
+        if float(value) != value:
+            # A lossy float64 key would mis-sort this boundary against
+            # its neighbours and corrupt every later probe; refuse loudly.
+            raise CrackerIndexError(
+                f"boundary value {value!r} is not exactly representable as a "
+                f"float64 navigation key (integers beyond 2**53)"
+            )
+        rank = self._rank_of(kind)
+        index = self._locate(value, rank)
+        n = self._count
+        if index < n and self._ranks[index] == rank and self._exact[index] == value:
+            existing_position = int(self._positions[index])
+            if existing_position != position:
                 raise CrackerIndexError(
                     f"boundary ({value!r}, {kind!r}) re-added at position {position}, "
-                    f"but exists at {existing.position}"
+                    f"but exists at {existing_position}"
                 )
-            return existing
-        if index > 0 and self._boundaries[index - 1].position > position:
+            return self.boundary_at(index)
+        if index > 0 and self._positions[index - 1] > position:
             raise CrackerIndexError(
                 f"boundary ({value!r}, {kind!r}) at {position} would precede "
-                f"its left neighbour at {self._boundaries[index - 1].position}"
+                f"its left neighbour at {int(self._positions[index - 1])}"
             )
-        if index < len(self._boundaries) and self._boundaries[index].position < position:
+        if index < n and self._positions[index] < position:
             raise CrackerIndexError(
                 f"boundary ({value!r}, {kind!r}) at {position} would follow "
-                f"its right neighbour at {self._boundaries[index].position}"
+                f"its right neighbour at {int(self._positions[index])}"
             )
-        boundary = Boundary(value=value, kind=kind, position=position)
-        self._keys.insert(index, key)
-        self._boundaries.insert(index, boundary)
-        return boundary
+        if n == len(self._values):
+            self._grow()
+        for array, item in (
+            (self._values, value),
+            (self._ranks, rank),
+            (self._positions, position),
+        ):
+            array[index + 1 : n + 1] = array[index:n]
+            array[index] = item
+        self._exact.insert(index, value)
+        self._count = n + 1
+        self._active_values = self._values[: self._count]
+        return Boundary(value=value, kind=kind, position=position)
 
     def remove(self, value, kind: str) -> None:
         """Remove a boundary, fusing its two adjacent pieces."""
-        key = (value, _KIND_RANK.get(kind, -1))
-        index = bisect.bisect_left(self._keys, key)
-        if index >= len(self._keys) or self._keys[index] != key:
+        rank = self._rank_of(kind)
+        index = self._locate(value, rank)
+        n = self._count
+        if index >= n or self._ranks[index] != rank or self._exact[index] != value:
             raise CrackerIndexError(f"boundary ({value!r}, {kind!r}) not present")
-        del self._keys[index]
-        del self._boundaries[index]
+        for array in (self._values, self._ranks, self._positions):
+            array[index : n - 1] = array[index + 1 : n]
+        del self._exact[index]
+        self._count = n - 1
+        self._active_values = self._values[: self._count]
 
     def shift_from(self, position: int, delta: int) -> None:
         """Shift every boundary at or after ``position`` by ``delta``.
@@ -233,20 +343,32 @@ class CrackerIndex:
         if delta == 0:
             return
         self.column_size += delta
-        updated = []
-        for boundary in self._boundaries:
-            if boundary.position >= position:
-                updated.append(
-                    Boundary(boundary.value, boundary.kind, boundary.position + delta)
-                )
-            else:
-                updated.append(boundary)
-        self._boundaries = updated
+        active = self._positions[: self._count]
+        active[active >= position] += delta
+
+    def merge_shift(self, per_piece_counts: np.ndarray, new_column_size: int) -> None:
+        """Shift boundaries for a piece-wise merge of pending tuples.
+
+        ``per_piece_counts[i]`` is the number of tuples inserted into
+        piece ``i``; boundary ``b`` (which has pieces ``0..b`` on its
+        left) moves right by the prefix sum ``counts[0..b]``.  One
+        vectorised add replaces the rebuild-every-boundary loop of the
+        merge path.
+        """
+        counts = np.asarray(per_piece_counts, dtype=np.int64)
+        if len(counts) != self._count + 1:
+            raise CrackerIndexError(
+                f"merge_shift got {len(counts)} piece counts for "
+                f"{self._count + 1} pieces"
+            )
+        self._positions[: self._count] += np.cumsum(counts[:-1])
+        self.column_size = new_column_size
 
     def clear(self) -> None:
         """Drop every boundary (the column becomes one uncracked piece)."""
-        self._keys.clear()
-        self._boundaries.clear()
+        self._count = 0
+        self._exact.clear()
+        self._active_values = self._values[:0]
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -254,15 +376,36 @@ class CrackerIndex:
 
     def check_invariants(self) -> None:
         """Raise :class:`CrackerIndexError` if structural invariants fail."""
-        for left, right in zip(self._boundaries, self._boundaries[1:]):
-            if left.sort_key >= right.sort_key:
-                raise CrackerIndexError(
-                    f"boundaries out of order: {left} !< {right}"
-                )
-            if left.position > right.position:
-                raise CrackerIndexError(
-                    f"boundary positions not monotone: {left} vs {right}"
-                )
-        for boundary in self._boundaries:
-            if not 0 <= boundary.position <= self.column_size:
-                raise CrackerIndexError(f"boundary {boundary} outside the column")
+        n = self._count
+        if n == 0:
+            return
+        values = self._values[:n]
+        ranks = self._ranks[:n]
+        positions = self._positions[:n]
+        if len(self._exact) != n:
+            raise CrackerIndexError(
+                f"exact-value list holds {len(self._exact)} entries for {n} boundaries"
+            )
+        same_value = values[:-1] == values[1:]
+        out_of_order = (values[:-1] > values[1:]) | (
+            same_value & (ranks[:-1] >= ranks[1:])
+        )
+        if out_of_order.any():
+            where = int(np.flatnonzero(out_of_order)[0])
+            raise CrackerIndexError(
+                f"boundaries out of order: {self.boundary_at(where)} !< "
+                f"{self.boundary_at(where + 1)}"
+            )
+        not_monotone = positions[:-1] > positions[1:]
+        if not_monotone.any():
+            where = int(np.flatnonzero(not_monotone)[0])
+            raise CrackerIndexError(
+                f"boundary positions not monotone: {self.boundary_at(where)} vs "
+                f"{self.boundary_at(where + 1)}"
+            )
+        outside = (positions < 0) | (positions > self.column_size)
+        if outside.any():
+            where = int(np.flatnonzero(outside)[0])
+            raise CrackerIndexError(
+                f"boundary {self.boundary_at(where)} outside the column"
+            )

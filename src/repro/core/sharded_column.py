@@ -101,6 +101,8 @@ class ShardedCrackedColumn:
         shards: number of horizontal partitions (contiguous row blocks).
         kernel: crack kernel, as for :class:`CrackedColumn`.
         crack_in_three_enabled: forwarded to every shard.
+        crack_threshold: piece-size crack cut-off, forwarded to every
+            shard (each shard bounds its own pieces; 0 = always crack).
         parallel: fan shard work out over a thread pool.  With one usable
             core (or one shard) the fan-out runs inline instead — the
             pool would only add dispatch latency.
@@ -119,6 +121,7 @@ class ShardedCrackedColumn:
         shards: int = DEFAULT_SHARDS,
         kernel: str = KERNEL_VECTORISED,
         crack_in_three_enabled: bool = True,
+        crack_threshold: int = 0,
         parallel: bool = True,
         max_workers: int | None = None,
     ) -> None:
@@ -139,6 +142,7 @@ class ShardedCrackedColumn:
                 oids[start:stop],
                 kernel=kernel,
                 crack_in_three_enabled=crack_in_three_enabled,
+                crack_threshold=crack_threshold,
             )
             for start, stop in zip(edges[:-1], edges[1:])
         ]

@@ -64,10 +64,16 @@ class CrackingEngine(ColumnStoreEngine):
 
     name = "cracking"
 
-    def __init__(self, strategy_factory=None, kernel: str = "vectorised") -> None:
+    def __init__(
+        self,
+        strategy_factory=None,
+        kernel: str = "vectorised",
+        crack_threshold: int = 0,
+    ) -> None:
         super().__init__()
         self._strategy_factory = strategy_factory or EagerStrategy
         self._kernel = kernel
+        self._crack_threshold = crack_threshold
         self._crackers: dict[tuple[str, str], CrackingOptimizer] = {}
         self._wedges: dict[tuple[str, str, str, str], WedgeState] = {}
         self._omegas: dict[tuple[str, str], OmegaState] = {}
@@ -87,7 +93,9 @@ class CrackingEngine(ColumnStoreEngine):
             # sequential read plus one sequential write, charged here.
             self.tracker.read_bytes(bat.name, bat.nbytes)
             self.tracker.write_bytes(f"{bat.name}#cracker", bat.nbytes)
-            column = CrackedColumn(bat, kernel=self._kernel)
+            column = CrackedColumn(
+                bat, kernel=self._kernel, crack_threshold=self._crack_threshold
+            )
             optimizer = CrackingOptimizer(column, self._strategy_factory())
             self._crackers[key] = optimizer
         return optimizer

@@ -33,6 +33,8 @@ class ShardedCrackedEngine(VectorizedCrackedEngine):
         parallel: fan shard cracks out over a thread pool; False cracks
             the shards serially (still benefits from the smaller,
             cache-resident shard working sets).
+        crack_threshold: per-shard piece-size crack cut-off (0 = always
+            crack).
     """
 
     name = "sharded"
@@ -42,8 +44,9 @@ class ShardedCrackedEngine(VectorizedCrackedEngine):
         shards: int = DEFAULT_SHARDS,
         kernel: str = "vectorised",
         parallel: bool = True,
+        crack_threshold: int = 0,
     ) -> None:
-        super().__init__(kernel=kernel)
+        super().__init__(kernel=kernel, crack_threshold=crack_threshold)
         self.shards = shards
         self.parallel = parallel
         self._sharded: dict[tuple[str, str], ShardedCrackedColumn] = {}
@@ -69,6 +72,7 @@ class ShardedCrackedEngine(VectorizedCrackedEngine):
                 shards=self.shards,
                 kernel=self._kernel,
                 parallel=self.parallel,
+                crack_threshold=self._crack_threshold,
             )
             self._sharded[key] = column
         return column

@@ -24,13 +24,19 @@ from repro.sql.ast_nodes import (
 )
 from repro.sql.lexer import Token, tokenize
 from repro.sql.parser import parse
+from repro.sql.plan_cache import PlanCache, SelectTemplate, bind_statement, normalize
 from repro.sql.planner import (
     PLAN_MODES,
     CrackerProvider,
     PositionalScan,
     build_plan,
 )
-from repro.sql.session import Database, QueryResult, split_statements
+from repro.sql.session import (
+    Database,
+    PreparedStatement,
+    QueryResult,
+    split_statements,
+)
 
 __all__ = [
     "AggCall",
@@ -47,8 +53,11 @@ __all__ = [
     "InsertValuesStmt",
     "JoinPredicate",
     "PLAN_MODES",
+    "PlanCache",
     "PositionalScan",
+    "PreparedStatement",
     "QueryResult",
+    "SelectTemplate",
     "RangePredicate",
     "ResidualPredicate",
     "SelectStmt",
@@ -56,8 +65,10 @@ __all__ = [
     "TableRef",
     "Token",
     "analyze",
+    "bind_statement",
     "build_plan",
     "extract_crackers",
+    "normalize",
     "parse",
     "split_statements",
     "tokenize",

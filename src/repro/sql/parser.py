@@ -75,9 +75,14 @@ class _Cursor:
         return self.index >= len(self.tokens)
 
 
-def parse(sql: str):
-    """Parse one SQL statement (a trailing semicolon is allowed)."""
-    cursor = _Cursor(tokenize(sql))
+def parse(sql: str, tokens: list[Token] | None = None):
+    """Parse one SQL statement (a trailing semicolon is allowed).
+
+    ``tokens`` lets callers that already lexed the text (the plan cache,
+    which tokenises once to normalise the statement) skip the second
+    lexer pass; they must be exactly ``tokenize(sql)``.
+    """
+    cursor = _Cursor(tokenize(sql) if tokens is None else tokens)
     token = cursor.peek()
     if token is None:
         raise SQLSyntaxError("empty statement")

@@ -66,6 +66,61 @@ from repro.volcano.vectorized import (
 PLAN_MODES = ("tuple", "vector")
 
 
+class CrackedCountScan(Operator):
+    """Degenerate plan: COUNT(*) answered from the cracker's span bounds.
+
+    §3.2's cracker index keeps each piece's size and location, so a
+    fully-cracked range predicate yields its cardinality as a positional
+    subtraction — no scan, no aggregate operator, no batch pipeline.
+    The planner emits this whenever a single-table COUNT(*) query's only
+    predicate was answered by the cracker; it is the sustained-phase fast
+    path of the hot-path benchmark.
+    """
+
+    columns = ["count(*)"]
+
+    def __init__(self, count: int) -> None:
+        self._count = int(count)
+
+    def __iter__(self) -> Iterator[tuple]:
+        yield (self._count,)
+
+
+def _cracked_count_plan(
+    query: AnalyzedQuery, catalog: Catalog, cracker: "CrackerProvider | None"
+) -> CrackedCountScan | None:
+    """The COUNT(*) pushdown, when the whole query is one cracked range."""
+    if cracker is None or len(query.tables) != 1:
+        return None
+    if query.aggregates != [("count", None)] or len(query.selections) != 1:
+        return None
+    if (
+        query.group_by
+        or query.joins
+        or query.residuals
+        or query.order_by
+        or query.projections
+        or query.into is not None
+        or query.limit is not None
+    ):
+        return None
+    predicate = query.selections[0]
+    if predicate.low is None and predicate.high is None:
+        return None
+    relation = catalog.table(query.tables[0].name)
+    if relation.column(predicate.attr).tail_type == "str":
+        return None
+    result = cracker.range_select(
+        relation,
+        predicate.attr,
+        predicate.low,
+        predicate.high,
+        low_inclusive=predicate.low_inclusive,
+        high_inclusive=predicate.high_inclusive,
+    )
+    return CrackedCountScan(result.count)
+
+
 class PositionalScan(Operator):
     """Scan a relation at explicit storage positions (cracked answers)."""
 
@@ -93,11 +148,16 @@ class CrackerProvider:
         shards: >1 builds :class:`ShardedCrackedColumn` crackers (the
             shard-parallel subsystem); 1 keeps the classic single column.
         parallel: forwarded to sharded columns (thread-pool fan-out).
-        snapshot_results: copy selection answers before releasing the
-            column lock.  Required when multiple threads share the
+        snapshot_results: snapshot selection answers before releasing
+            the column lock.  Required when multiple threads share the
             database: a later crack shuffles the storage a zero-copy
-            answer is a view of.  Single-threaded sessions keep the
-            zero-copy fast path.
+            answer is a view of.  Snapshots are copy-on-demand (the
+            column retires its storage generation before the next crack
+            only while a snapshot is still referenced), so sustained
+            converged workloads stay zero-copy even with this on.
+        crack_threshold: piece-size crack cut-off forwarded to every
+            cracked column (0 = always crack; see
+            :class:`~repro.core.cracked_column.CrackedColumn`).
     """
 
     def __init__(
@@ -105,12 +165,18 @@ class CrackerProvider:
         shards: int = 1,
         parallel: bool = True,
         snapshot_results: bool = False,
+        crack_threshold: int = 0,
     ) -> None:
         if shards < 1:
             raise PlanError(f"shard count must be >= 1, got {shards}")
+        if crack_threshold < 0:
+            raise PlanError(
+                f"crack_threshold must be >= 0, got {crack_threshold}"
+            )
         self.shards = shards
         self.parallel = parallel
         self.snapshot_results = snapshot_results
+        self.crack_threshold = crack_threshold
         self._columns: dict[tuple[str, str], CrackedColumn | ShardedCrackedColumn] = {}
         self._locks: dict[tuple[str, str], ReadWriteLock] = {}
         self._registry_lock = threading.Lock()
@@ -136,10 +202,15 @@ class CrackerProvider:
                     bat = relation.column(attr)
                     if self.shards > 1:
                         column = ShardedCrackedColumn(
-                            bat, shards=self.shards, parallel=self.parallel
+                            bat,
+                            shards=self.shards,
+                            parallel=self.parallel,
+                            crack_threshold=self.crack_threshold,
                         )
                     else:
-                        column = CrackedColumn(bat)
+                        column = CrackedColumn(
+                            bat, crack_threshold=self.crack_threshold
+                        )
                     self._columns[key] = column
                     self._locks[key] = ReadWriteLock()
         return column
@@ -186,7 +257,11 @@ class CrackerProvider:
                 snapshot=self.snapshot_results,
             )
         lock = self.lock_for(relation.name, attr)
-        with lock.write_locked():
+        # Direct acquire/release: the contextmanager-based write_locked()
+        # costs a generator frame per query, measurable on the sustained
+        # hot path.
+        lock.acquire_write()
+        try:
             result = column.range_select(
                 low,
                 high,
@@ -195,6 +270,8 @@ class CrackerProvider:
             )
             if self.snapshot_results:
                 result = result.snapshot()
+        finally:
+            lock.release_write()
         return result
 
     def has_column(self, table: str, attr: str) -> bool:
@@ -277,6 +354,9 @@ def build_plan(
     """
     if mode not in PLAN_MODES:
         raise PlanError(f"unknown execution mode {mode!r}; have {PLAN_MODES}")
+    fast_count = _cracked_count_plan(query, catalog, cracker)
+    if fast_count is not None:
+        return fast_count
     vector = mode == "vector"
     base_ops: dict[str, Operator | VecOperator] = {}
     remaining_selections: list[RangePredicate] = []

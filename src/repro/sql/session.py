@@ -16,6 +16,7 @@ Example::
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import SQLAnalysisError
@@ -26,7 +27,9 @@ from repro.sql.ast_nodes import (
     InsertValuesStmt,
     SelectStmt,
 )
+from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
+from repro.sql.plan_cache import PlanCache, SelectTemplate, make_template, normalize
 from repro.sql.planner import PLAN_MODES, CrackerProvider, build_plan
 from repro.storage.catalog import Catalog
 from repro.storage.pages import IOTracker
@@ -103,8 +106,20 @@ class Database:
     database across threads, additionally pass ``concurrent=True``: range
     answers are then snapshotted before the column lock is released, so a
     crack by one thread cannot shuffle storage underneath another
-    thread's in-flight result.  Single-threaded sessions leave it False
-    and keep the zero-copy answer path.
+    thread's in-flight result.  Snapshots are copy-on-demand: the column
+    pays a copy only if a crack actually lands while a snapshot is still
+    referenced, so converged workloads stay zero-copy either way.
+
+    ``plan_cache`` (default on) caches compiled statements: an exact
+    repeat of a SELECT skips lexing, parsing and analysis; a SELECT that
+    differs only in literal constants skips parsing (the constants are
+    rebound into the cached template).  Entries invalidate per table on
+    DDL and on INSERT.  ``prepare`` / ``execute_prepared`` expose the
+    parameterised form directly.
+
+    ``crack_threshold`` > 0 stops cracking pieces below that many tuples;
+    a bound falling in such a piece is answered by a vectorised scan of
+    the piece, bounding cracker-index growth (§3.4.2's cut-off points).
     """
 
     def __init__(
@@ -114,6 +129,8 @@ class Database:
         mode: str = "tuple",
         shards: int = 1,
         concurrent: bool = False,
+        plan_cache: bool = True,
+        crack_threshold: int = 0,
     ) -> None:
         if mode not in PLAN_MODES:
             raise SQLAnalysisError(
@@ -129,10 +146,17 @@ class Database:
         self.shards = shards
         self.concurrent = concurrent
         self._cracker = (
-            CrackerProvider(shards=shards, snapshot_results=concurrent)
+            CrackerProvider(
+                shards=shards,
+                snapshot_results=concurrent,
+                crack_threshold=crack_threshold,
+            )
             if cracking
             else None
         )
+        # Always constructed: epoch bookkeeping must run even with the
+        # statement cache off, so prepared statements stay validatable.
+        self._plan_cache = PlanCache(enabled=plan_cache)
         # Guards catalog mutation (CREATE / DROP / materialise-replace).
         self._catalog_lock = threading.RLock()
 
@@ -141,8 +165,37 @@ class Database:
     # ------------------------------------------------------------------ #
 
     def execute(self, sql: str, mode: str | None = None) -> QueryResult:
-        """Parse and run one statement (``mode`` overrides the default)."""
-        stmt = parse(sql)
+        """Compile (or fetch from the plan cache) and run one statement.
+
+        ``mode`` overrides the default executor.  Cache discipline for a
+        SELECT: an exact textual repeat reuses its analyzed form outright;
+        a literal-only variant rebinds constants into the cached parse
+        tree and re-runs only the analyzer; everything else compiles from
+        scratch and primes both levels.
+        """
+        cache = self._plan_cache
+        if cache.enabled:
+            query = cache.lookup_exact(sql)
+            if query is not None:
+                return self._execute_analyzed(query, mode=mode)
+            tokens = tokenize(sql)
+            first = tokens[0] if tokens else None
+            if first is not None and first.kind == "keyword" and first.value == "select":
+                cache.count_miss()
+                key, literals = normalize(tokens)
+                template = cache.lookup_template(key)
+                if template is not None and template.slots == len(literals):
+                    stmt = template.bind(literals)
+                    return self._execute_select(stmt, mode=mode, cache_as=sql)
+                stmt = parse(sql, tokens=tokens)
+                fresh = make_template(stmt, literals)
+                if fresh is not None:
+                    cache.store_template(key, fresh)
+                    return self._execute_select(stmt, mode=mode, cache_as=sql)
+                return self._execute_select(stmt, mode=mode)
+            stmt = parse(sql, tokens=tokens)
+        else:
+            stmt = parse(sql)
         if isinstance(stmt, CreateTableStmt):
             return self._execute_create(stmt)
         if isinstance(stmt, InsertValuesStmt):
@@ -150,6 +203,38 @@ class Database:
         if isinstance(stmt, InsertSelectStmt):
             return self._execute_insert_select(stmt, mode=mode)
         return self._execute_select(stmt, mode=mode)
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """Compile a SELECT once for repeated parameterised execution.
+
+        The statement's literal constants become the positional
+        parameters, in source order; its literals as written are the
+        defaults.  Re-execution skips lexing and parsing entirely and
+        memoises analysis per parameter tuple (invalidated by DDL or
+        INSERT on any referenced table)::
+
+            stmt = db.prepare("SELECT count(*) FROM r WHERE a BETWEEN 0 AND 10")
+            stmt.execute()          # BETWEEN 0 AND 10
+            stmt.execute((5, 25))   # BETWEEN 5 AND 25
+        """
+        tokens = tokenize(sql)
+        stmt = parse(sql, tokens=tokens)
+        if not isinstance(stmt, SelectStmt):
+            raise SQLAnalysisError("only SELECT statements can be prepared")
+        if stmt.into is not None:
+            raise SQLAnalysisError("SELECT ... INTO cannot be prepared")
+        _, literals = normalize(tokens)
+        template = make_template(stmt, literals)
+        if template is None:
+            raise SQLAnalysisError("statement cannot be parameterised")
+        analyze(stmt, self.catalog)  # validate names now, not at first execute
+        return PreparedStatement(self, sql, template, defaults=literals)
+
+    def execute_prepared(
+        self, prepared: "PreparedStatement", params=None, mode: str | None = None
+    ) -> QueryResult:
+        """Run a prepared statement (``params`` override its literals)."""
+        return prepared.execute(params, mode=mode)
 
     def execute_script(self, script: str) -> int:
         """Run a semicolon-separated script; returns statements executed."""
@@ -188,6 +273,7 @@ class Database:
         schema = Schema([Column(name, col_type) for name, col_type in stmt.columns])
         with self._catalog_lock:
             self.catalog.create_table(Relation(stmt.name, schema))
+        self._plan_cache.invalidate_table(stmt.name)
         return QueryResult(columns=[], rows=[], affected=0)
 
     def _execute_insert_values(self, stmt: InsertValuesStmt) -> QueryResult:
@@ -199,6 +285,7 @@ class Database:
             first_oid = len(relation)
             inserted = relation.insert_many(stmt.rows)
             self._propagate_inserts(stmt.table, relation, first_oid, stmt.rows)
+        self._plan_cache.invalidate_table(stmt.table)
         return QueryResult(columns=[], rows=[], affected=inserted)
 
     def _execute_insert_select(
@@ -218,12 +305,37 @@ class Database:
             self._propagate_inserts(
                 stmt.table, relation, first_oid, select_result.rows
             )
+        self._plan_cache.invalidate_table(stmt.table)
         return QueryResult(columns=[], rows=[], affected=inserted)
 
     def _execute_select(
-        self, stmt: SelectStmt, mode: str | None = None
+        self,
+        stmt: SelectStmt,
+        mode: str | None = None,
+        cache_as: str | None = None,
     ) -> QueryResult:
+        # Epochs are captured before analysis: a DDL/INSERT racing the
+        # compile then leaves the entry already-stale instead of stamping
+        # a pre-DDL analysis as current.
+        epochs = (
+            self._plan_cache.epochs_for(ref.name for ref in stmt.tables)
+            if cache_as is not None
+            else None
+        )
         query = analyze(stmt, self.catalog)
+        if cache_as is not None:
+            self._plan_cache.store_exact(cache_as, query, epochs)
+        return self._execute_analyzed(query, mode=mode)
+
+    def _execute_analyzed(
+        self, query: AnalyzedQuery, mode: str | None = None
+    ) -> QueryResult:
+        """Plan and run an analyzed SELECT (the per-execution stages).
+
+        The physical plan is rebuilt every time even on cache hits: the
+        cracked range answer it embeds is per-execution state, and the
+        join planner reads live cardinalities from the catalog.
+        """
         plan = build_plan(
             query,
             self.catalog,
@@ -241,6 +353,7 @@ class Database:
                         # Crackers of the replaced table index dead storage.
                         self._cracker.drop_table(relation.name)
                 self.catalog.create_table(relation)
+            self._plan_cache.invalidate_table(relation.name)
             return QueryResult(
                 columns=plan.columns, rows=[], affected=len(relation),
                 advice=query.advice,
@@ -266,6 +379,10 @@ class Database:
             return {}
         return self._cracker.columns()
 
+    def plan_cache_stats(self) -> dict:
+        """Hit/miss/invalidation counters of the statement cache."""
+        return self._plan_cache.stats()
+
     def check_invariants(self) -> None:
         """Validate every cracked column's piece/coverage invariants.
 
@@ -288,3 +405,67 @@ class Database:
         if self._cracker is None:
             return
         self._cracker.propagate_insert(table, relation, first_oid, list(rows))
+
+
+class PreparedStatement:
+    """A SELECT compiled once, re-executable with new literal parameters.
+
+    Produced by :meth:`Database.prepare`.  Execution skips the lexer and
+    parser always, and skips the analyzer when this exact parameter tuple
+    ran before and no referenced table changed since (DDL or INSERT bump
+    the table epochs the memo is validated against).  Safe to share
+    across threads: the memo is lock-guarded and analyzed queries are
+    immutable after publication.
+    """
+
+    #: Per-statement analysis memo bound (distinct parameter tuples).
+    MEMO_CAPACITY = 128
+
+    def __init__(
+        self,
+        database: Database,
+        sql: str,
+        template: "SelectTemplate",
+        defaults: tuple,
+    ) -> None:
+        self.database = database
+        self.sql = sql
+        self.template = template
+        self.defaults = defaults
+        self._memo: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._memo_lock = threading.Lock()
+
+    @property
+    def parameter_count(self) -> int:
+        return self.template.slots
+
+    def execute(self, params=None, mode: str | None = None) -> QueryResult:
+        """Run with ``params`` (positional literals; None = as written)."""
+        literals = self.defaults if params is None else tuple(params)
+        cache = self.database._plan_cache
+        memoised = None
+        with self._memo_lock:
+            entry = self._memo.get(literals)
+            if entry is not None:
+                query, epochs = entry
+                if cache.current(epochs):
+                    self._memo.move_to_end(literals)
+                    memoised = query
+                else:
+                    del self._memo[literals]
+        if memoised is not None:
+            # Execute outside the memo lock: holding it through planning
+            # and cracking would serialise every thread sharing this
+            # prepared statement.
+            return self.database._execute_analyzed(memoised, mode=mode)
+        stmt = self.template.bind(literals)
+        # Capture before analyzing: a racing DDL/INSERT must leave this
+        # memo entry stale, not stamp a pre-DDL analysis as current.
+        epochs = cache.epochs_for(ref.name for ref in stmt.tables)
+        query = analyze(stmt, self.database.catalog)
+        with self._memo_lock:
+            self._memo[literals] = (query, epochs)
+            self._memo.move_to_end(literals)
+            while len(self._memo) > self.MEMO_CAPACITY:
+                self._memo.popitem(last=False)
+        return self.database._execute_analyzed(query, mode=mode)

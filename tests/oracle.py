@@ -30,11 +30,16 @@ from repro.sql import Database
 
 #: The standard cross-engine sweep: constructor kwargs per configuration.
 #: The first entry is the oracle the others are compared against.
+#: "uncached" pins the plan cache (on by default everywhere else) against
+#: per-statement recompilation; "bounded" pins threshold-bounded cracking
+#: against the unbounded crackers.
 ENGINE_CONFIGS: dict[str, dict] = {
     "rowstore": dict(cracking=False, mode="tuple"),
     "cracked": dict(cracking=True, mode="tuple"),
     "vectorized": dict(cracking=True, mode="vector"),
     "sharded": dict(cracking=True, mode="vector", shards=4),
+    "uncached": dict(cracking=True, mode="vector", plan_cache=False),
+    "bounded": dict(cracking=True, mode="tuple", crack_threshold=96),
 }
 
 

@@ -1,0 +1,228 @@
+"""Warm restart vs cold rebuild: does persistence skip the burn-in?
+
+The cracker index is earned from the query stream; PR 3 showed the
+sustained phase is 5x+ faster than compile-from-scratch.  Without
+durability all of that restarts from zero on every deploy.  This bench
+measures exactly that cliff:
+
+* **burn-in** — a cracking database answers random range counts on a
+  1M-row column until the index has converged for a fixed query set,
+  then checkpoints into a persist directory (snapshot = catalog + BAT
+  payloads + full cracker state);
+* **warm restart** — a fresh ``Database(persist_dir=...)`` recovers the
+  snapshot and re-runs the *first post-restore batch* of the same
+  queries: every bound already has its boundary, so the batch runs at
+  sustained-phase latency;
+* **cold rebuild** — a fresh non-persistent database over the same data
+  runs the identical first batch, re-paying the cracking burn-in.
+
+Headline: ``speedup_warm = cold_batch_s / warm_batch_s`` — the
+acceptance bar is >= 2x at 1M rows (in practice the gap is an order of
+magnitude: the cold batch cracks multi-hundred-thousand-tuple pieces
+while the warm batch does index lookups).  Also recorded: checkpoint
+and recovery wall times and the snapshot's size on disk, i.e. what a
+deployment pays to *keep* the burn-in.
+
+``python -m repro bench restart`` (or running this file) performs the
+full 1M-row sweep and writes ``benchmarks/BENCH_restart.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.sql import Database
+from repro.storage.table import Column, Relation, Schema
+
+FULL_ROWS = 1_000_000
+BENCH_ROWS = 100_000
+BURN_IN_QUERIES = 512
+BATCH_QUERIES = 64
+REPEATS = 3
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_restart.json"
+
+
+def build_relation(n_rows: int) -> Relation:
+    """r(k, a) with a permuted — the standard cracking workload column."""
+    rng = np.random.default_rng(7)
+    return Relation.from_columns(
+        "r",
+        Schema([Column("k", "int"), Column("a", "int")]),
+        {"k": np.arange(n_rows, dtype=np.int64), "a": rng.permutation(n_rows)},
+    )
+
+
+def build_database(n_rows: int, persist_dir=None) -> Database:
+    db = Database(cracking=True, mode="vector", persist_dir=persist_dir)
+    db.catalog.create_table(build_relation(n_rows))
+    return db
+
+
+def count_queries(n_rows: int, n_queries: int, seed: int = 17) -> list[str]:
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(0, n_rows, n_queries)
+    widths = rng.integers(1, max(2, n_rows // 4), n_queries)
+    return [
+        f"SELECT count(*) FROM r WHERE a BETWEEN {int(low)} AND {int(low + width)}"
+        for low, width in zip(lows, widths)
+    ]
+
+
+def run_batch(db: Database, statements) -> tuple[float, int]:
+    """(wall seconds, checksum) for one pass over ``statements``."""
+    checksum = 0
+    started = time.perf_counter()
+    for statement in statements:
+        checksum += db.execute(statement).scalar()
+    return time.perf_counter() - started, checksum
+
+
+def main(n_rows: int = FULL_ROWS, result_path: Path = RESULT_PATH) -> dict:
+    """Full sweep; writes BENCH_restart.json and returns the report."""
+    burn_in = count_queries(n_rows, BURN_IN_QUERIES, seed=5)
+    batch = count_queries(n_rows, BATCH_QUERIES, seed=11)
+    report = {
+        "rows": n_rows,
+        "burn_in_queries": BURN_IN_QUERIES,
+        "batch_queries": BATCH_QUERIES,
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count(),
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+    }
+    print(f"rows={n_rows}  cpus={os.cpu_count()}")
+
+    persist_dir = Path(tempfile.mkdtemp(prefix="repro-restart-"))
+    try:
+        # Phase 1: burn in + checkpoint --------------------------------- #
+        db = build_database(n_rows, persist_dir=persist_dir)
+        burn_wall, _ = run_batch(db, burn_in)
+        run_batch(db, batch)  # the batch bounds join the earned index
+        pieces = db.piece_count("r", "a")
+        started = time.perf_counter()
+        checkpoint = db.checkpoint()
+        checkpoint_s = time.perf_counter() - started
+        db.close()
+        report["burn_in"] = {
+            "wall_s": round(burn_wall, 6),
+            "pieces": pieces,
+            "checkpoint_s": round(checkpoint_s, 6),
+            "snapshot_bytes": checkpoint["snapshot_bytes"],
+        }
+        print(
+            f"burn-in: {burn_wall * 1000:9.2f} ms, {pieces} pieces; "
+            f"checkpoint {checkpoint_s * 1000:.2f} ms, "
+            f"{checkpoint['snapshot_bytes']} bytes"
+        )
+
+        # Phase 2: warm restart ----------------------------------------- #
+        warm_wall = None
+        restore_s = None
+        warm_checksum = None
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            warm_db = Database(cracking=True, mode="vector", persist_dir=persist_dir)
+            restored = time.perf_counter() - started
+            restore_s = restored if restore_s is None else min(restore_s, restored)
+            assert warm_db.piece_count("r", "a") == pieces, "index not warm"
+            wall, checksum = run_batch(warm_db, batch)
+            warm_db.close()
+            warm_wall = wall if warm_wall is None else min(warm_wall, wall)
+            warm_checksum = checksum
+        report["warm"] = {
+            "restore_s": round(restore_s, 6),
+            "first_batch_s": round(warm_wall, 6),
+            "rows_matched": warm_checksum,
+        }
+        print(
+            f"warm restart: restore {restore_s * 1000:9.2f} ms, "
+            f"first batch {warm_wall * 1000:9.2f} ms"
+        )
+    finally:
+        shutil.rmtree(persist_dir, ignore_errors=True)
+
+    # Phase 3: cold rebuild --------------------------------------------- #
+    cold_wall = None
+    cold_checksum = None
+    for _ in range(REPEATS):
+        cold_db = build_database(n_rows)
+        wall, checksum = run_batch(cold_db, batch)
+        cold_wall = wall if cold_wall is None else min(cold_wall, wall)
+        cold_checksum = checksum
+    if cold_checksum != warm_checksum:
+        raise AssertionError(
+            f"warm/cold checksums diverged: {warm_checksum} vs {cold_checksum}"
+        )
+    report["cold"] = {
+        "first_batch_s": round(cold_wall, 6),
+        "rows_matched": cold_checksum,
+    }
+    speedup = cold_wall / warm_wall
+    report["speedup_warm"] = round(speedup, 3)
+    print(f"cold rebuild: first batch {cold_wall * 1000:9.2f} ms")
+    print(f"warm-restart speedup on first batch: {speedup:.2f}x  (bar: >= 2x)")
+    result_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {result_path}")
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# pytest-benchmark harness (reduced size)
+# ---------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    """A burned-in, checkpointed persist dir plus its query batch."""
+    persist_dir = tmp_path_factory.mktemp("restart-state")
+    batch = count_queries(BENCH_ROWS, BATCH_QUERIES, seed=11)
+    db = build_database(BENCH_ROWS, persist_dir=persist_dir)
+    for statement in count_queries(BENCH_ROWS, 128, seed=5):
+        db.execute(statement)
+    for statement in batch:
+        db.execute(statement)
+    db.checkpoint()
+    db.close()
+    return persist_dir, batch
+
+
+def test_warm_restart_batch(benchmark, warm_store):
+    """First post-restore batch on a warm (snapshot-restored) database."""
+    persist_dir, batch = warm_store
+
+    def setup():
+        return (Database(cracking=True, mode="vector", persist_dir=persist_dir),), {}
+
+    def first_batch(db):
+        wall, checksum = run_batch(db, batch)
+        db.close()
+        return checksum
+
+    total = benchmark.pedantic(first_batch, setup=setup, rounds=3, iterations=1)
+    assert total > 0
+
+
+def test_cold_rebuild_batch(benchmark):
+    """Identical first batch on a cold database (burn-in re-paid)."""
+    batch = count_queries(BENCH_ROWS, BATCH_QUERIES, seed=11)
+
+    def setup():
+        return (build_database(BENCH_ROWS),), {}
+
+    def first_batch(db):
+        wall, checksum = run_batch(db, batch)
+        return checksum
+
+    total = benchmark.pedantic(first_batch, setup=setup, rounds=3, iterations=1)
+    assert total > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -633,6 +633,71 @@ class CrackedColumn:
         return SelectionResult(oids=self.oids[positions], values=self.values[positions])
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """A serialisable snapshot: storage, index and pending buffers.
+
+        Array members are private copies, so the export stays valid while
+        the live column keeps cracking.  Callers are responsible for the
+        column's lock (the persistence layer holds the same write side
+        the query path takes).
+        """
+        dtype = self.values.dtype
+        pending_values = (
+            np.concatenate(self._pending_values)
+            if self._pending_values
+            else np.empty(0, dtype=dtype)
+        )
+        pending_oids = (
+            np.concatenate(self._pending_oids)
+            if self._pending_oids
+            else np.empty(0, dtype=np.int64)
+        )
+        return {
+            "values": self.values.copy(),
+            "oids": self.oids.copy(),
+            "pending_values": pending_values,
+            "pending_oids": pending_oids,
+            "kernel": self.kernel,
+            "crack_in_three_enabled": bool(self.crack_in_three_enabled),
+            "crack_threshold": int(self.crack_threshold),
+            "next_oid": int(self._next_oid),
+            "index": self.index.export_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CrackedColumn":
+        """Rebuild a cracked column from :meth:`export_state` output.
+
+        The warm-restart path: the cracker index (piece boundaries) and
+        the physically reorganised storage come back exactly as
+        exported, so the first post-restore query pays an index lookup,
+        not a re-crack.  Invariants are validated before the column is
+        handed out.
+        """
+        column = cls.__new__(cls)
+        column.source = None
+        column._setup(
+            np.asarray(state["values"]).copy(),
+            np.asarray(state["oids"], dtype=np.int64).copy(),
+            str(state["kernel"]),
+            bool(state["crack_in_three_enabled"]),
+            int(state["crack_threshold"]),
+        )
+        column.index = CrackerIndex.from_state(state["index"])
+        pending_values = np.asarray(state["pending_values"])
+        if len(pending_values):
+            column._pending_values = [pending_values.astype(column.values.dtype)]
+            column._pending_oids = [
+                np.asarray(state["pending_oids"], dtype=np.int64).copy()
+            ]
+        column._next_oid = int(state["next_oid"])
+        column.check_invariants()
+        return column
+
+    # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
 

@@ -371,6 +371,62 @@ class CrackerIndex:
         self._active_values = self._values[:0]
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """A serialisable snapshot of the boundary arrays.
+
+        Every array is a private copy of the active region.  The exact
+        boundary values (which preserve int vs float identity) travel as
+        a float64 array plus an is-int flag vector — :meth:`add` already
+        guarantees each exact value is float64-representable.
+        """
+        n = self._count
+        return {
+            "column_size": int(self.column_size),
+            "values": self._values[:n].copy(),
+            "ranks": self._ranks[:n].copy(),
+            "positions": self._positions[:n].copy(),
+            "exact_values": np.asarray(
+                [float(v) for v in self._exact], dtype=np.float64
+            ),
+            "exact_is_int": np.asarray(
+                [isinstance(v, int) for v in self._exact], dtype=np.bool_
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CrackerIndex":
+        """Rebuild an index from :meth:`export_state` output.
+
+        The boundary arrays are installed wholesale (no per-boundary
+        re-add), then validated, so a corrupted snapshot fails loudly
+        instead of mis-navigating later probes.
+        """
+        values = np.asarray(state["values"], dtype=np.float64)
+        n = len(values)
+        index = cls(int(state["column_size"]))
+        capacity = max(_MIN_CAPACITY, n)
+        index._values = np.empty(capacity, dtype=np.float64)
+        index._values[:n] = values
+        index._ranks = np.empty(capacity, dtype=np.int8)
+        index._ranks[:n] = np.asarray(state["ranks"], dtype=np.int8)
+        index._positions = np.empty(capacity, dtype=np.int64)
+        index._positions[:n] = np.asarray(state["positions"], dtype=np.int64)
+        index._exact = [
+            int(value) if is_int else float(value)
+            for value, is_int in zip(
+                np.asarray(state["exact_values"], dtype=np.float64).tolist(),
+                np.asarray(state["exact_is_int"], dtype=np.bool_).tolist(),
+            )
+        ]
+        index._count = n
+        index._active_values = index._values[:n]
+        index.check_invariants()
+        return index
+
+    # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
 

@@ -307,6 +307,64 @@ class ShardedCrackedColumn:
         return oids
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """A serialisable snapshot of every shard plus global bookkeeping.
+
+        Taken under the append lock plus all shard locks (the same
+        acquisition order as :meth:`append` and :meth:`check_invariants`),
+        so the export is a globally consistent cut: no tuple is half-way
+        between the append path and its shard.
+        """
+        with ExitStack() as stack:
+            stack.enter_context(self._append_lock)
+            for lock in self._locks:
+                stack.enter_context(lock)
+            return {
+                "shard_count": int(self.shard_count),
+                "parallel": bool(self.parallel),
+                "max_workers": int(self._max_workers),
+                "next_oid": int(self._next_oid),
+                "initial_rows": int(self._initial_rows),
+                "appended": int(self._appended),
+                "shards": [shard.export_state() for shard in self.shards],
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ShardedCrackedColumn":
+        """Re-attach a sharded column from :meth:`export_state` output.
+
+        Every shard comes back with its own cracker index and pending
+        buffers, so the warm-restarted column answers from the same
+        pieces the exported one had earned.
+        """
+        column = cls.__new__(cls)
+        column.source = None
+        column.shards = [
+            CrackedColumn.from_state(shard_state)
+            for shard_state in state["shards"]
+        ]
+        column.shard_count = int(state["shard_count"])
+        if column.shard_count != len(column.shards):
+            raise CrackError(
+                f"sharded state announces {column.shard_count} shards but "
+                f"carries {len(column.shards)}"
+            )
+        column._locks = [threading.Lock() for _ in column.shards]
+        column.parallel = bool(state["parallel"])
+        column._max_workers = max(1, int(state["max_workers"]))
+        column._executor = None
+        column._executor_lock = threading.Lock()
+        column._append_lock = threading.Lock()
+        column._next_oid = int(state["next_oid"])
+        column._initial_rows = int(state["initial_rows"])
+        column._appended = int(state["appended"])
+        column.check_invariants()
+        return column
+
+    # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
 

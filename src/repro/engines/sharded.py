@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core.sharded_column import DEFAULT_SHARDS, ShardedCrackedColumn
 from repro.engines.vectorized import VectorizedCrackedEngine
+from repro.errors import CrackError
 from repro.storage.table import Relation
 from repro.volcano.vectorized import VecShardedCrackedScan
 
@@ -87,6 +88,38 @@ class ShardedCrackedEngine(VectorizedCrackedEngine):
 
     def has_cracker(self, table: str, attr: str) -> bool:
         return (table, attr) in self._sharded
+
+    # ------------------------------------------------------------------ #
+    # Warm restart (shard re-attach)
+    # ------------------------------------------------------------------ #
+
+    def export_cracker_states(self) -> dict:
+        """Serialisable state of every sharded cracker, keyed (table, attr).
+
+        The engine half of the durability layer's warm-restart path:
+        pair with :meth:`attach_column` to move earned shard indexes
+        across engine instances (or across process restarts via
+        :mod:`repro.persist`).
+        """
+        return {
+            key: column.export_state() for key, column in self._sharded.items()
+        }
+
+    def attach_column(
+        self, table: str, attr: str, column: ShardedCrackedColumn
+    ) -> None:
+        """Re-attach a restored sharded cracker for ``table.attr``.
+
+        The column answers from its restored piece boundaries
+        immediately — no first-touch copy, no re-crack.  Refuses to
+        replace a live cracker (that would discard earned pieces).
+        """
+        key = (table, attr)
+        if key in self._sharded:
+            raise CrackError(
+                f"sharded cracker for {table}.{attr} already attached"
+            )
+        self._sharded[key] = column
 
     def piece_count(self, table: str, attr: str) -> int:
         column = self._sharded.get((table, attr))

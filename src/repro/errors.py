@@ -36,6 +36,10 @@ class CatalogError(ReproError):
     """Raised for catalog violations (unknown table, duplicate name...)."""
 
 
+class PersistError(ReproError):
+    """Raised for durability-layer violations (snapshots, WAL, recovery)."""
+
+
 class TransactionError(ReproError):
     """Raised for transaction protocol violations."""
 

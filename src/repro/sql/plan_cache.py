@@ -237,6 +237,20 @@ class PlanCache:
             self._epochs[name] = self._epochs.get(name, 0) + 1
             self.invalidations += 1
 
+    def invalidate_all(self, tables) -> None:
+        """Bump every given table's epoch and drop all exact entries.
+
+        The recovery hook: after a snapshot restore or WAL replay, any
+        plan compiled against the pre-restore catalog — including
+        prepared-statement memos, which validate against these epochs —
+        must recompile.  Templates survive (pure syntax, never stale).
+        """
+        with self._lock:
+            for name in tables:
+                self._epochs[name] = self._epochs.get(name, 0) + 1
+                self.invalidations += 1
+            self._exact.clear()
+
     # ------------------------------------------------------------------ #
     # Exact level
     # ------------------------------------------------------------------ #

@@ -274,6 +274,27 @@ class CrackerProvider:
             lock.release_write()
         return result
 
+    def attach_column(
+        self, table: str, attr: str, column: CrackedColumn | ShardedCrackedColumn
+    ) -> None:
+        """Register a pre-built cracked column (the warm-restart path).
+
+        The persistence layer restores cracker state from a snapshot and
+        re-attaches it here, so the first post-restore query finds its
+        piece boundaries instead of re-paying the cracking burn-in.
+        Refuses to replace a live column: that would silently discard
+        pieces (and pending updates) the running store has accumulated.
+        """
+        key = (table, attr)
+        with self._registry_lock:
+            if key in self._columns:
+                raise PlanError(
+                    f"cracker for {table}.{attr} already attached; "
+                    "warm restore must target a fresh database"
+                )
+            self._columns[key] = column
+            self._locks.setdefault(key, ReadWriteLock())
+
     def has_column(self, table: str, attr: str) -> bool:
         with self._registry_lock:
             return (table, attr) in self._columns

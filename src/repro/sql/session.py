@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
-from repro.errors import SQLAnalysisError
+from repro.errors import PersistError, SQLAnalysisError
 from repro.sql.analyzer import AnalyzedQuery, analyze
 from repro.sql.ast_nodes import (
     CreateTableStmt,
@@ -120,6 +121,17 @@ class Database:
     ``crack_threshold`` > 0 stops cracking pieces below that many tuples;
     a bound falling in such a piece is answered by a vectorised scan of
     the piece, bounding cracker-index growth (§3.4.2's cut-off points).
+
+    ``persist_dir`` makes the database durable and warm-restartable: a
+    :class:`~repro.persist.store.PersistentStore` under that directory
+    pairs snapshot generations (catalog, BAT payloads, full cracker
+    state) with an append-only statement WAL.  Opening an existing
+    directory recovers *snapshot + WAL tail* — including every cracked
+    column's piece boundaries, so the cracking burn-in is not re-paid.
+    ``wal_fsync_every`` batches WAL fsyncs (1 = every statement);
+    ``checkpoint_statements`` / ``checkpoint_wal_bytes`` auto-compact
+    the WAL into a fresh snapshot when either trigger fires, and
+    :meth:`checkpoint` does so on demand.
     """
 
     def __init__(
@@ -131,6 +143,10 @@ class Database:
         concurrent: bool = False,
         plan_cache: bool = True,
         crack_threshold: int = 0,
+        persist_dir=None,
+        wal_fsync_every: int = 64,
+        checkpoint_statements: int | None = None,
+        checkpoint_wal_bytes: int | None = None,
     ) -> None:
         if mode not in PLAN_MODES:
             raise SQLAnalysisError(
@@ -159,6 +175,21 @@ class Database:
         self._plan_cache = PlanCache(enabled=plan_cache)
         # Guards catalog mutation (CREATE / DROP / materialise-replace).
         self._catalog_lock = threading.RLock()
+        # Durability: set up last, so recovery replays through a fully
+        # initialised session.  _replaying suppresses re-logging while
+        # the WAL tail re-executes.
+        self._replaying = False
+        self._persist = None
+        if persist_dir is not None:
+            from repro.persist.store import PersistentStore
+
+            self._persist = PersistentStore(
+                persist_dir,
+                fsync_every=wal_fsync_every,
+                checkpoint_statements=checkpoint_statements,
+                checkpoint_wal_bytes=checkpoint_wal_bytes,
+            )
+            self._persist.recover_into(self)
 
     # ------------------------------------------------------------------ #
     # Statement execution
@@ -192,17 +223,57 @@ class Database:
                 if fresh is not None:
                     cache.store_template(key, fresh)
                     return self._execute_select(stmt, mode=mode, cache_as=sql)
-                return self._execute_select(stmt, mode=mode)
+                # Non-templatable SELECTs include SELECT ... INTO, which
+                # mutates the catalog and must reach the durable dispatch.
+                return self._dispatch_statement(stmt, sql, mode)
             stmt = parse(sql, tokens=tokens)
         else:
             stmt = parse(sql)
-        if isinstance(stmt, CreateTableStmt):
-            return self._execute_create(stmt)
-        if isinstance(stmt, InsertValuesStmt):
-            return self._execute_insert_values(stmt)
-        if isinstance(stmt, InsertSelectStmt):
-            return self._execute_insert_select(stmt, mode=mode)
-        return self._execute_select(stmt, mode=mode)
+        return self._dispatch_statement(stmt, sql, mode)
+
+    def _dispatch_statement(
+        self, stmt, sql: str, mode: str | None
+    ) -> QueryResult:
+        """Run one parsed statement; mutations are logged to the WAL.
+
+        Mutations hold the durability guard (exclusive) across execute +
+        WAL append.  That serialises persistent mutations against each
+        other — WAL order is execution order, so replay cannot invert a
+        CREATE/INSERT race — and against checkpoints, which therefore
+        never snapshot an executed-but-unlogged statement (replay would
+        double-apply it).  The guard is a no-op without persistence;
+        SELECTs never take it.
+        """
+        mutates = (
+            isinstance(stmt, (CreateTableStmt, InsertValuesStmt, InsertSelectStmt))
+            or (isinstance(stmt, SelectStmt) and stmt.into is not None)
+        )
+        if (
+            mutates
+            and self._persist is not None
+            and not self._replaying
+            and self._persist.closed
+        ):
+            # Checked before executing: applying the mutation and then
+            # failing the WAL append would leave memory diverged from
+            # the durable image.
+            raise PersistError(
+                "database is closed; reopen Database(persist_dir=...) to mutate"
+            )
+        with self._durability_guard(mutates):
+            if isinstance(stmt, CreateTableStmt):
+                result = self._execute_create(stmt)
+            elif isinstance(stmt, InsertValuesStmt):
+                result = self._execute_insert_values(stmt)
+            elif isinstance(stmt, InsertSelectStmt):
+                result = self._execute_insert_select(stmt, mode=mode)
+            else:
+                result = self._execute_select(stmt, mode=mode)
+            if mutates:
+                self._log_durable(sql)
+        if mutates:
+            self._maybe_checkpoint()
+        return result
 
     def prepare(self, sql: str) -> "PreparedStatement":
         """Compile a SELECT once for repeated parameterised execution.
@@ -392,6 +463,57 @@ class Database:
         """
         if self._cracker is not None:
             self._cracker.check_invariants()
+
+    # ------------------------------------------------------------------ #
+    # Durability
+    # ------------------------------------------------------------------ #
+
+    @property
+    def persistent(self) -> bool:
+        """True when this database is backed by a persist_dir store."""
+        return self._persist is not None
+
+    def _durability_guard(self, mutates: bool):
+        """The store barrier for a mutating statement (no-op otherwise)."""
+        if mutates and self._persist is not None and not self._replaying:
+            return self._persist.mutation_guard()
+        return nullcontext()
+
+    def _log_durable(self, sql: str) -> None:
+        """Append one successfully executed mutation to the WAL."""
+        if self._persist is not None and not self._replaying:
+            self._persist.log_statement(sql)
+
+    def _maybe_checkpoint(self) -> None:
+        """Run a policy-triggered checkpoint (outside the barrier)."""
+        if self._persist is not None and not self._replaying:
+            self._persist.maybe_checkpoint(self)
+
+    def checkpoint(self) -> dict:
+        """Force a snapshot generation now; returns the checkpoint report.
+
+        Compacts the WAL into a fresh snapshot covering the catalog,
+        every relation's BATs and the complete cracker state (piece
+        boundaries, pending updates, per-shard state), so the next open
+        restarts warm with an empty log tail.
+        """
+        if self._persist is None:
+            raise PersistError(
+                "checkpoint() requires a persistent database "
+                "(Database(persist_dir=...))"
+            )
+        return self._persist.checkpoint(self)
+
+    def persistence_stats(self) -> dict:
+        """Durability counters (generation, WAL size, recovery report)."""
+        if self._persist is None:
+            return {"persistent": False}
+        return {"persistent": True, **self._persist.stats()}
+
+    def close(self) -> None:
+        """Release durable resources (flush + close the WAL handle)."""
+        if self._persist is not None:
+            self._persist.close()
 
     def _propagate_inserts(
         self, table: str, relation, first_oid: int, rows

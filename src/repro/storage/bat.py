@@ -372,6 +372,51 @@ class BAT:
         return active.min(), active.max()
 
     # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def export_state(self) -> dict:
+        """A serialisable snapshot of the active region.
+
+        Numeric tails export raw storage; string tails export *decoded*
+        atoms (a numpy unicode array) — the atom heap is rebuilt on
+        restore by re-putting the values, which reproduces an equivalent
+        offset assignment without persisting heap internals.
+        """
+        if self.tail_type == "str":
+            decoded = self.tail_values()
+            tail = np.asarray(decoded, dtype="<U1" if not decoded else None)
+        else:
+            tail = self._active_tail().copy()
+        head = self._head
+        return {
+            "name": self.name,
+            "tail_type": self.tail_type,
+            "tail": tail,
+            "head": None if head is None else head[: self._count].copy(),
+            "seq_base": int(self._seq_base),
+            "sorted": bool(self._sorted),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BAT":
+        """Rebuild a BAT from :meth:`export_state` output."""
+        tail_type = str(state["tail_type"])
+        tail = state["tail"]
+        values = [str(v) for v in tail] if tail_type == "str" else tail
+        bat = cls.from_values(
+            str(state["name"]),
+            values,
+            tail_type=tail_type,
+            seq_base=int(state.get("seq_base", 0)),
+        )
+        head = state.get("head")
+        if head is not None:
+            bat._head = np.asarray(head, dtype=np.int64).copy()
+        bat._sorted = bool(state.get("sorted", False)) and tail_type != "str"
+        return bat
+
+    # ------------------------------------------------------------------ #
     # Views
     # ------------------------------------------------------------------ #
 

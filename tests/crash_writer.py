@@ -1,0 +1,74 @@
+"""Subprocess writer for the kill -9 crash-recovery test.
+
+Executes a deterministic workload (DDL + paced INSERT stream with
+interleaved cracking SELECTs) against a durable database until the
+parent test SIGKILLs it mid-WAL.  The workload generator lives here so
+the parent can rebuild the exact statement sequence and verify the
+recovered database against an oracle replay of the durable prefix.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+def crash_workload(seed: int, n_statements: int = 20_000) -> list[str]:
+    """The deterministic statement stream (identical for a given seed).
+
+    One CREATE, then INSERTs of 1-3 rows with every seventh slot a
+    cracking SELECT.  Only the mutations are WAL-logged, so the durable
+    prefix of a crashed run is exactly the first K mutations in order.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    statements = ["CREATE TABLE r (k integer, a integer, w float, tag varchar)"]
+    next_k = 0
+    for i in range(n_statements):
+        if i % 7 == 3:
+            low = int(rng.integers(0, 1000))
+            statements.append(
+                f"SELECT count(*) FROM r WHERE a BETWEEN {low} AND {low + 80}"
+            )
+            continue
+        values = ", ".join(
+            f"({next_k + j}, {int(rng.integers(0, 1000))}, "
+            f"{round(float(rng.uniform(0, 10)), 3)}, "
+            f"'t{int(rng.integers(0, 6))}')"
+            for j in range(int(rng.integers(1, 4)))
+        )
+        next_k += 3
+        statements.append(f"INSERT INTO r VALUES {values}")
+    return statements
+
+
+def is_mutation(statement: str) -> bool:
+    """True for the statements the WAL logs (everything but plain SELECT)."""
+    return not statement.lstrip().lower().startswith("select")
+
+
+def main() -> int:
+    persist_dir = sys.argv[1]
+    seed = int(sys.argv[2])
+    from repro.sql import Database
+
+    db = Database(
+        cracking=True,
+        persist_dir=persist_dir,
+        wal_fsync_every=1,
+        checkpoint_statements=200,
+    )
+    for i, statement in enumerate(crash_workload(seed)):
+        db.execute(statement)
+        # Pace the stream after warm-up so the parent reliably lands its
+        # SIGKILL mid-WAL instead of racing a workload that already
+        # finished.
+        if i > 100:
+            time.sleep(0.0005)
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -111,6 +111,15 @@ class TestBenchSubcommand:
         assert main(["bench", "no_such_bench"]) == 2
         assert "unknown bench" in capsys.readouterr().err
 
+    def test_unknown_bench_lists_available(self, capsys):
+        # The satellite contract: a bad name shows what *does* exist
+        # instead of failing opaquely.
+        assert main(["bench", "no_such_bench"]) == 2
+        err = capsys.readouterr().err
+        assert "available" in err
+        assert "hotpath" in err
+        assert "restart" in err
+
     def test_runs_hotpath_tiny(self, capsys, tmp_path, monkeypatch):
         # Tiny run through the real bench module; JSON lands next to the
         # script, so point the result path at a temp file instead.
@@ -152,6 +161,66 @@ class TestBenchSubcommand:
             cli.bench_directory = original
 
 
+class TestPersistenceSubcommands:
+    def _seed_store(self, persist_dir):
+        from repro.sql import Database
+
+        db = Database(cracking=True, persist_dir=persist_dir)
+        db.execute("CREATE TABLE r (k integer, a integer)")
+        db.execute("INSERT INTO r VALUES (1, 10), (2, 20), (3, 30), (4, 40)")
+        db.execute("SELECT count(*) FROM r WHERE a BETWEEN 15 AND 35")
+        db.close()
+        return persist_dir
+
+    def test_snapshot_compacts_store(self, capsys, tmp_path):
+        state = self._seed_store(tmp_path / "state")
+        assert main(["snapshot", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed generation 1" in out
+        assert "table r: 4 rows" in out
+        assert (state / "CURRENT").read_text().strip() == "1"
+
+    def test_restore_recovers_and_queries(self, capsys, tmp_path):
+        state = self._seed_store(tmp_path / "state")
+        code = main(["restore", str(state), "-e", "SELECT count(*) FROM r"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered generation 0" in out
+        assert "invariants ok" in out
+        assert out.rstrip().endswith("4")
+
+    def test_restore_after_snapshot_is_warm(self, capsys, tmp_path):
+        state = self._seed_store(tmp_path / "state")
+        from repro.sql import Database
+
+        db = Database(cracking=True, persist_dir=state)
+        db.execute("SELECT count(*) FROM r WHERE a BETWEEN 15 AND 35")
+        db.checkpoint()
+        db.close()
+        capsys.readouterr()
+        assert main(["restore", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot loaded" in out
+        assert "cracker r.a" in out
+
+    def test_restore_bad_store_reports_cleanly(self, capsys, tmp_path):
+        (tmp_path / "CURRENT").write_text("garbage\n")
+        assert main(["restore", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_snapshot_sql_error_reports_cleanly(self, capsys, tmp_path):
+        state = self._seed_store(tmp_path / "state")
+        code = main(["restore", str(state), "-e", "SELECT * FROM ghost"])
+        assert code == 1
+        assert "unknown table" in capsys.readouterr().err
+
+    def test_help_mentions_persistence(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot" in out
+        assert "restore" in out
+
+
 class TestErrorHierarchy:
     @pytest.mark.parametrize(
         "exc",
@@ -162,6 +231,7 @@ class TestErrorHierarchy:
             errors.HeapError,
             errors.PageError,
             errors.CatalogError,
+            errors.PersistError,
             errors.TransactionError,
             errors.CrackError,
             errors.CrackerIndexError,

@@ -1,0 +1,236 @@
+"""Multi-client server benchmark: sustained throughput and tail latency.
+
+The serving layer only earns its keep if many networked clients can
+drive the self-organising store the way the paper imagines — a stream
+of queries from concurrent users paying the cracking burn-in once and
+then enjoying index-lookup speed.  This bench records:
+
+* **embedded** — the in-process baseline: one thread calling
+  ``Database.execute`` directly (no sockets, no JSON).
+* **served** — the same workload through ``ReproServer`` + ``Client``
+  over loopback TCP, for 1 and for ``CLIENTS`` concurrent clients:
+  aggregate queries/second plus p50/p99 per-query latency.  The wire
+  tax (framing, JSON, thread handoff) is the honest price of
+  multi-client access and is reported, not hidden.
+* **burn_in** — per-query mean latency at power-of-two checkpoints
+  while ``CLIENTS`` clients concurrently crack a cold column: the
+  curve must fall as the column converges, proving the burn-in
+  amortises across *networked* clients exactly as it does embedded.
+
+``python -m repro bench server`` (or running this file) performs the
+full sweep and writes ``benchmarks/BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.client import Client
+from repro.server import ServerThread
+from repro.sql import Database
+from repro.storage.table import Column, Relation, Schema
+
+FULL_ROWS = 1_000_000
+CLIENTS = 4
+QUERIES_PER_CLIENT = 400
+BURNIN_PER_CLIENT = 256
+RESULT_PATH = Path(__file__).resolve().parent / "BENCH_server.json"
+
+
+def build_database(n_rows: int) -> Database:
+    """A cracking vector-mode database holding r(k, a), a permuted."""
+    db = Database(cracking=True, mode="vector", concurrent=True)
+    rng = np.random.default_rng(7)
+    relation = Relation.from_columns(
+        "r",
+        Schema([Column("k", "int"), Column("a", "int")]),
+        {"k": np.arange(n_rows, dtype=np.int64), "a": rng.permutation(n_rows)},
+    )
+    db.catalog.create_table(relation)
+    return db
+
+
+def count_queries(n_rows: int, n_queries: int, seed: int) -> list[str]:
+    """Random double-sided count(*) ranges over r.a."""
+    rng = np.random.default_rng(seed)
+    lows = rng.integers(0, n_rows, n_queries)
+    widths = rng.integers(1, max(2, n_rows // 4), n_queries)
+    return [
+        f"SELECT count(*) FROM r WHERE a BETWEEN {int(low)} AND {int(low + width)}"
+        for low, width in zip(lows, widths)
+    ]
+
+
+def percentile_ms(latencies: list[float], q: float) -> float:
+    return round(float(np.percentile(np.array(latencies), q)) * 1000, 4)
+
+
+def _run_client(host, port, statements, latencies, failures) -> None:
+    try:
+        with Client(host, port) as client:
+            for statement in statements:
+                started = time.perf_counter()
+                client.execute(statement)
+                latencies.append(time.perf_counter() - started)
+    except Exception as exc:  # pragma: no cover - failure path
+        failures.append(exc)
+
+
+def _measure_served(
+    n_rows: int, n_clients: int, per_client: int, seed: int, warm: bool
+) -> dict:
+    """Throughput + latency of ``n_clients`` concurrent networked clients."""
+    database = build_database(n_rows)
+    statements = count_queries(n_rows, per_client, seed)
+    thread = ServerThread(database, pool_size=max(2, n_clients))
+    host, port = thread.start()
+    try:
+        if warm:  # converge first so the sustained phase is measured
+            with Client(host, port) as client:
+                for statement in statements:
+                    client.execute(statement)
+        per_thread: list[list[float]] = [[] for _ in range(n_clients)]
+        failures: list = []
+        workers = [
+            threading.Thread(
+                target=_run_client,
+                args=(
+                    host,
+                    port,
+                    statements[offset:] + statements[:offset],
+                    per_thread[i],
+                    failures,
+                ),
+            )
+            for i, offset in enumerate(
+                range(0, n_clients * 3, 3)[:n_clients]
+            )
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - started
+        if failures:
+            raise RuntimeError(f"client failures: {failures}")
+        merged = [value for bucket in per_thread for value in bucket]
+        return {
+            "clients": n_clients,
+            "queries": len(merged),
+            "wall_s": round(wall, 4),
+            "qps": round(len(merged) / wall, 1),
+            "p50_ms": percentile_ms(merged, 50),
+            "p99_ms": percentile_ms(merged, 99),
+            "pieces": database.piece_count("r", "a"),
+            "per_thread": per_thread,
+        }
+    finally:
+        thread.stop()
+
+
+def _burn_in_curve(n_rows: int, n_clients: int, per_client: int) -> dict:
+    """Mean per-query latency at power-of-two checkpoints, cold start."""
+    served = _measure_served(
+        n_rows, n_clients, per_client, seed=23, warm=False
+    )
+    checkpoints = sorted(
+        {1 << i for i in range(per_client.bit_length()) if (1 << i) <= per_client}
+        | {per_client}
+    )
+    curve = []
+    for index, checkpoint in enumerate(checkpoints):
+        start = checkpoints[index - 1] if index else 0
+        window = [
+            bucket[i]
+            for bucket in served["per_thread"]
+            for i in range(start, min(checkpoint, len(bucket)))
+        ]
+        curve.append(round(float(np.mean(window)) * 1000, 4))
+    return {
+        "clients": n_clients,
+        "queries_per_client": per_client,
+        "checkpoints": checkpoints,
+        "mean_latency_ms": curve,
+        "final_pieces": served["pieces"],
+        "converged_vs_first_window": round(curve[0] / max(curve[-1], 1e-9), 2),
+    }
+
+
+def main(n_rows: int = FULL_ROWS, result_path: Path = RESULT_PATH) -> dict:
+    """Full sweep; writes BENCH_server.json and returns the report."""
+    report = {
+        "rows": n_rows,
+        "clients": CLIENTS,
+        "cpu_count": os.cpu_count(),
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+    }
+    print(f"rows={n_rows}  cpus={os.cpu_count()}  clients={CLIENTS}")
+
+    # Embedded baseline --------------------------------------------------
+    db = build_database(n_rows)
+    statements = count_queries(n_rows, QUERIES_PER_CLIENT, seed=11)
+    for statement in statements:  # converge
+        db.execute(statement)
+    latencies = []
+    started = time.perf_counter()
+    for statement in statements:
+        t0 = time.perf_counter()
+        db.execute(statement)
+        latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - started
+    report["embedded"] = {
+        "queries": len(statements),
+        "qps": round(len(statements) / wall, 1),
+        "p50_ms": percentile_ms(latencies, 50),
+        "p99_ms": percentile_ms(latencies, 99),
+    }
+    print(
+        f"embedded      : {report['embedded']['qps']:10.0f} q/s   "
+        f"p50 {report['embedded']['p50_ms']:.3f} ms  "
+        f"p99 {report['embedded']['p99_ms']:.3f} ms"
+    )
+
+    # Served, sustained phase -------------------------------------------
+    report["served"] = {}
+    for n_clients in (1, CLIENTS):
+        measured = _measure_served(
+            n_rows, n_clients, QUERIES_PER_CLIENT, seed=11, warm=True
+        )
+        measured.pop("per_thread")
+        report["served"][str(n_clients)] = measured
+        print(
+            f"served x{n_clients:<5}: {measured['qps']:10.0f} q/s   "
+            f"p50 {measured['p50_ms']:.3f} ms  p99 {measured['p99_ms']:.3f} ms"
+        )
+    single = report["served"]["1"]["qps"]
+    report["served"]["scaling_vs_single_client"] = round(
+        report["served"][str(CLIENTS)]["qps"] / single, 3
+    )
+    report["wire_tax_vs_embedded"] = round(
+        report["embedded"]["qps"] / single, 2
+    )
+
+    # Burn-in under concurrent clients ----------------------------------
+    report["burn_in"] = _burn_in_curve(n_rows, CLIENTS, BURNIN_PER_CLIENT)
+    print(
+        f"burn-in       : first-window mean "
+        f"{report['burn_in']['mean_latency_ms'][0]:.3f} ms -> converged "
+        f"{report['burn_in']['mean_latency_ms'][-1]:.3f} ms "
+        f"({report['burn_in']['converged_vs_first_window']}x) over "
+        f"{report['burn_in']['final_pieces']} pieces"
+    )
+
+    result_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {result_path}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

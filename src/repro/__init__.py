@@ -16,6 +16,8 @@ Public API highlights:
 * :mod:`repro.simulation` — the §2.2 read/write cost simulation;
 * :mod:`repro.sql` — a small SQL front-end with a cracker extraction
   stage between analyzer and optimizer;
+* :mod:`repro.server` / :mod:`repro.client` — the network service
+  layer: asyncio TCP server, JSON wire protocol, sync + async clients;
 * :mod:`repro.experiments` — one module per paper figure.
 """
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro bench hotpath        # run benchmarks/bench_hotpath.py
     python -m repro snapshot ./state     # checkpoint a durable store
     python -m repro restore ./state      # recover + verify a durable store
+    python -m repro serve --port 7744 --persist-dir ./state   # SQL server
 """
 
 from __future__ import annotations
@@ -42,6 +43,23 @@ EXPERIMENTS = {
     "hiking": hiking,
     "report": report,
 }
+
+
+def _print_result(result) -> None:
+    """Print one statement result in the shell's pipe-separated form.
+
+    Values go through the wire-safe converter, so the shell renders
+    exactly what the network protocol would serialise — numpy scalars
+    never leak into either surface.
+    """
+    from repro.server.protocol import wire_row
+
+    if result.columns:
+        print("|".join(result.columns))
+        for row in result.rows:
+            print("|".join(str(value) for value in wire_row(row)))
+    else:
+        print(f"ok ({result.affected} rows affected)")
 
 
 def run_sql(argv: list[str]) -> int:
@@ -92,12 +110,7 @@ def run_sql(argv: list[str]) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        if result.columns:
-            print("|".join(result.columns))
-            for row in result.rows:
-                print("|".join(str(value) for value in row))
-        else:
-            print(f"ok ({result.affected} rows affected)")
+        _print_result(result)
     return 0
 
 
@@ -304,13 +317,168 @@ def run_restore(argv: list[str]) -> int:
                 print(f"error: {exc}", file=sys.stderr)
                 db.close()
                 return 1
-            if result.columns:
-                print("|".join(result.columns))
-                for row in result.rows:
-                    print("|".join(str(value) for value in row))
-            else:
-                print(f"ok ({result.affected} rows affected)")
+            _print_result(result)
     db.close()
+    return 0
+
+
+def run_serve(argv: list[str]) -> int:
+    """The ``serve`` subcommand: expose a database over TCP.
+
+    Builds the engine (optionally durable via ``--persist-dir``, warm
+    restart included), binds the asyncio server and runs until SIGTERM
+    or SIGINT, then shuts down gracefully: in-flight statements drain,
+    the WAL is flushed and — for persistent stores — a checkpoint is
+    written, so the next ``repro serve`` on the same directory restarts
+    warm with an empty log tail.
+    """
+    import asyncio
+    import signal
+
+    from repro.errors import ReproError
+    from repro.server import ReproServer
+    from repro.sql import Database
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve a cracking database to networked clients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7744, help="bind port (0 = pick a free one)"
+    )
+    parser.add_argument(
+        "--mode", choices=("tuple", "vector"), default="vector",
+        help="default executor for served statements",
+    )
+    parser.add_argument(
+        "--no-cracking", action="store_true",
+        help="disable adaptive cracking (plain scans)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="shard-parallel cracking subsystem (columns cracked per shard)",
+    )
+    parser.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="disable the two-level statement cache",
+    )
+    parser.add_argument(
+        "--crack-threshold", type=int, default=0,
+        help="stop cracking pieces below this many tuples (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--persist-dir", default=None,
+        help="durable store directory (recovered on start, checkpointed "
+        "on shutdown)",
+    )
+    parser.add_argument(
+        "--wal-fsync-every", type=int, default=64,
+        help="WAL fsync batching (1 = every statement)",
+    )
+    parser.add_argument(
+        "--checkpoint-statements", type=int, default=None,
+        help="auto-checkpoint after this many logged statements",
+    )
+    parser.add_argument(
+        "--checkpoint-wal-bytes", type=int, default=None,
+        help="auto-checkpoint once the WAL passes this size",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=64,
+        help="admission bound on simultaneous connections",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="per-connection request queue bound (backpressure)",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=4,
+        help="engine worker threads (statements in flight)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=64,
+        help="global bound on admitted-but-unfinished statements",
+    )
+    parser.add_argument(
+        "--statement-timeout", type=float, default=None,
+        help="seconds before a statement gets a typed timeout reply",
+    )
+    parser.add_argument(
+        "--init", default=None, metavar="SCRIPT",
+        help="';'-separated SQL script to run before accepting clients",
+    )
+    args = parser.parse_args(argv)
+    try:
+        database = Database(
+            cracking=not args.no_cracking,
+            mode=args.mode,
+            shards=args.shards,
+            concurrent=True,
+            plan_cache=not args.no_plan_cache,
+            crack_threshold=args.crack_threshold,
+            persist_dir=args.persist_dir,
+            wal_fsync_every=args.wal_fsync_every,
+            checkpoint_statements=args.checkpoint_statements,
+            checkpoint_wal_bytes=args.checkpoint_wal_bytes,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.persist_dir is not None:
+        stats = database.persistence_stats()
+        print(
+            f"recovered generation {stats['recovery_generation']} "
+            f"({stats['recovery_wal_statements_replayed']} WAL statement(s) "
+            "replayed)"
+        )
+    if args.init:
+        try:
+            with open(args.init, "r", encoding="utf-8") as handle:
+                executed = database.execute_script(handle.read())
+        except (OSError, ReproError) as exc:
+            print(f"error: init script failed: {exc}", file=sys.stderr)
+            database.close()
+            return 1
+        print(f"init script ran {executed} statement(s)")
+
+    async def _serve() -> dict:
+        server = ReproServer(
+            database,
+            args.host,
+            args.port,
+            max_connections=args.max_connections,
+            queue_depth=args.queue_depth,
+            pool_size=args.pool_size,
+            max_pending=args.max_pending,
+            statement_timeout=args.statement_timeout,
+        )
+        await server.start()
+        host, port = server.address
+        print(f"repro server listening on {host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def request_stop() -> None:
+            print("shutting down: draining connections...", flush=True)
+            stop.set()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, request_stop)
+        return await server.serve_until(stop)
+
+    report = asyncio.run(_serve())
+    line = (
+        f"drained {report['connections_drained']} connection(s), "
+        f"served {report['accepted']}, refused {report['refused']}"
+    )
+    if report["checkpoint"] is not None:
+        line += (
+            f"; checkpointed generation {report['checkpoint']['generation']} "
+            f"({report['checkpoint']['statements_compacted']} statements "
+            "compacted)"
+        )
+    print(line)
     return 0
 
 
@@ -328,12 +496,15 @@ def main(argv: list[str] | None = None) -> int:
         print("     python -m repro bench <name> [--rows N] | bench --list")
         print("     python -m repro snapshot <persist_dir>")
         print("     python -m repro restore <persist_dir> [-e 'SQL...']")
+        print("     python -m repro serve [--port N] [--persist-dir DIR]")
         return 0
     target, *rest = argv
     if target == "sql":
         return run_sql(rest)
     if target == "bench":
         return run_bench(rest)
+    if target == "serve":
+        return run_serve(rest)
     if target == "snapshot":
         return run_snapshot(rest)
     if target == "restore":

@@ -1,0 +1,538 @@
+"""Client library for the repro wire protocol (sync and asyncio).
+
+:class:`Client` is the blocking flavour::
+
+    from repro.client import Client
+
+    with Client(host, port) as client:
+        client.execute("CREATE TABLE r (k integer, a integer)")
+        client.execute("INSERT INTO r VALUES (1, 10), (2, 20)")
+        result = client.execute("SELECT * FROM r WHERE a BETWEEN 5 AND 15")
+        result.rows                       # [(1, 10)]
+        stmt = client.prepare("SELECT count(*) FROM r WHERE a BETWEEN 0 AND 10")
+        stmt.execute((5, 25)).scalar()    # rebinds the literals
+
+:class:`AsyncClient` speaks the same API with ``await``.
+
+Both reconnect: a dropped connection is re-established (with retries
+and backoff), the HELLO handshake is replayed and every live prepared
+statement is transparently re-prepared before the failed request is
+retried once.  Caveats, stated plainly: if the server dies *after*
+executing a mutation but before replying, the retry re-applies it; and
+a ``timeout`` error reply means the *caller* gave up, not that the
+engine did — the server cannot kill a thread mid-crack, so the timed-out
+mutation (or COMMIT batch) may still complete and be WAL-logged in the
+background.  In both cases blind resubmission can double-apply:
+exactly-once delivery needs application-level idempotence.  An open
+transaction does not survive a reconnect: its server-side buffer died
+with the connection, so the client raises instead of silently
+committing half a transaction.
+
+Server-side failures arrive as typed replies and raise
+:class:`~repro.errors.RemoteError` with the wire ``code``
+(``"syntax"``, ``"catalog"``, ``"timeout"``, ``"overloaded"``...);
+transport failures raise :class:`~repro.errors.ServerUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+
+from repro.errors import (
+    ProtocolError,
+    RemoteError,
+    ServerUnavailableError,
+    TransactionError,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.sql.session import QueryResult
+
+_RECV_BYTES = 1 << 16
+
+
+def _result_from_reply(reply: dict) -> QueryResult:
+    """Rehydrate a ``result`` reply into the embedded result type."""
+    return QueryResult(
+        columns=list(reply["columns"]),
+        rows=[tuple(row) for row in reply["rows"]],
+        affected=int(reply.get("affected", 0)),
+    )
+
+
+def _check_reply(reply: dict, expected: str) -> dict:
+    if reply.get("type") == "error":
+        raise RemoteError(reply.get("code", "internal"), reply.get("message", ""))
+    if reply.get("type") != expected:
+        raise ProtocolError(
+            f"expected a {expected!r} reply, got {reply.get('type')!r}"
+        )
+    return reply
+
+
+class Prepared:
+    """A server-side prepared statement held by a client.
+
+    Survives reconnects: the client re-prepares it on a new connection
+    and swaps the handle in place.
+    """
+
+    def __init__(self, client, sql: str, handle: str, parameter_count: int):
+        self._client = client
+        self.sql = sql
+        self.handle = handle
+        self.parameter_count = parameter_count
+        self.closed = False
+
+    def execute(self, params=None, mode: str | None = None) -> QueryResult:
+        return self._client._execute_prepared(self, params, mode)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._client._deallocate(self)
+            self.closed = True
+            self._client._forget(self)
+
+
+class _ClientCore:
+    """Connection-independent bookkeeping shared by both flavours."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        mode: str | None = None,
+        client_name: str = "repro-client",
+        reconnect: bool = True,
+        max_retries: int = 3,
+        retry_delay: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.mode = mode
+        self.client_name = client_name
+        self.reconnect = reconnect
+        self.max_retries = max_retries
+        self.retry_delay = retry_delay
+        self.server_info: dict = {}
+        self.in_transaction = False
+        self._prepared: list[Prepared] = []
+
+    def _hello_message(self) -> dict:
+        return {
+            "type": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "client": self.client_name,
+        }
+
+    def _live_prepared(self) -> list[Prepared]:
+        self._prepared = [p for p in self._prepared if not p.closed]
+        return self._prepared
+
+    def _forget(self, prepared: Prepared) -> None:
+        """Drop a closed statement so long-lived clients stay bounded."""
+        try:
+            self._prepared.remove(prepared)
+        except ValueError:
+            pass
+
+
+class Client(_ClientCore):
+    """Blocking client over a TCP socket (see module docstring)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7744, **kwargs):
+        super().__init__(host, port, **kwargs)
+        self._sock: socket.socket | None = None
+        self._decoder = FrameDecoder()
+        self.connect()
+
+    # -------------------------------------------------------------- #
+    # Transport
+    # -------------------------------------------------------------- #
+
+    def connect(self) -> None:
+        """(Re-)establish the connection, handshake, re-prepare."""
+        self._close_socket()
+        last: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=None
+                )
+                break
+            except OSError as exc:
+                last = exc
+                self._sock = None
+                if attempt < self.max_retries:
+                    time.sleep(self.retry_delay * (attempt + 1))
+        if self._sock is None:
+            raise ServerUnavailableError(
+                f"cannot connect to {self.host}:{self.port}: {last}"
+            )
+        self._decoder = FrameDecoder()
+        reply = self._roundtrip(self._hello_message())
+        self.server_info = _check_reply(reply, "hello")
+        for prepared in self._live_prepared():
+            fresh = _check_reply(
+                self._roundtrip({"type": "prepare", "sql": prepared.sql}),
+                "prepared",
+            )
+            prepared.handle = fresh["handle"]
+
+    def _close_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _roundtrip(self, message: dict) -> dict:
+        """One request/reply exchange on the current socket (no retry)."""
+        if self._sock is None:
+            raise ServerUnavailableError("client is not connected")
+        try:
+            self._sock.sendall(encode_frame(message))
+            while True:
+                data = self._sock.recv(_RECV_BYTES)
+                if not data:
+                    raise ServerUnavailableError("server closed the connection")
+                messages = self._decoder.feed(data)
+                if messages:
+                    # A graceful shutdown can coalesce the reply and the
+                    # server's goodbye into one recv; drop the trailing
+                    # goodbye (the next exchange hits EOF and reconnects).
+                    if len(messages) == 2 and messages[1].get("type") == "goodbye":
+                        messages.pop()
+                    if len(messages) > 1:
+                        raise ProtocolError(
+                            "server sent multiple replies to one request"
+                        )
+                    return self._filter_goodbye(message, messages[0])
+        except OSError as exc:
+            raise ServerUnavailableError(f"connection lost: {exc}") from exc
+
+    @staticmethod
+    def _filter_goodbye(request: dict, reply: dict) -> dict:
+        # A goodbye we didn't ask for is the server shutting down under
+        # us (it sits buffered on the socket until the next exchange);
+        # surface it as unavailability so the reconnect path engages.
+        if reply.get("type") == "goodbye" and request.get("type") != "close":
+            raise ServerUnavailableError("server shut down (goodbye received)")
+        return reply
+
+    def _request(self, message: dict, prepared: "Prepared | None" = None) -> dict:
+        """Exchange with reconnect-and-retry-once on transport failure.
+
+        ``prepared`` names the statement a handle-bearing message refers
+        to: reconnecting re-prepares it under a *new* handle, so the
+        retried message must carry the refreshed one, not the original.
+        """
+        try:
+            return self._roundtrip(message)
+        except ServerUnavailableError:
+            if not self.reconnect:
+                raise
+            if self.in_transaction:
+                # The server-side transaction buffer died with the
+                # connection; retrying would silently drop its prefix.
+                self.in_transaction = False
+                raise TransactionError(
+                    "connection lost mid-transaction; transaction aborted"
+                ) from None
+            self.connect()
+            if prepared is not None:
+                message = {**message, "handle": prepared.handle}
+            return self._roundtrip(message)
+
+    # -------------------------------------------------------------- #
+    # API
+    # -------------------------------------------------------------- #
+
+    def execute(self, sql: str, mode: str | None = None):
+        """Run one statement; a SELECT returns a QueryResult.
+
+        Inside a transaction a mutating statement is queued server-side
+        (returns the ``queued`` reply dict instead of a result).
+        """
+        reply = self._request(
+            {"type": "query", "sql": sql, "mode": mode or self.mode}
+        )
+        if reply.get("type") == "queued":
+            return reply
+        return _result_from_reply(_check_reply(reply, "result"))
+
+    def prepare(self, sql: str) -> Prepared:
+        reply = _check_reply(
+            self._request({"type": "prepare", "sql": sql}), "prepared"
+        )
+        prepared = Prepared(
+            self, sql, reply["handle"], reply["parameter_count"]
+        )
+        self._prepared.append(prepared)
+        return prepared
+
+    def _execute_prepared(self, prepared: Prepared, params, mode):
+        reply = self._request(
+            {
+                "type": "execute",
+                "handle": prepared.handle,
+                "params": None if params is None else list(params),
+                "mode": mode or self.mode,
+            },
+            prepared=prepared,
+        )
+        return _result_from_reply(_check_reply(reply, "result"))
+
+    def _deallocate(self, prepared: Prepared) -> None:
+        _check_reply(
+            self._request(
+                {"type": "deallocate", "handle": prepared.handle},
+                prepared=prepared,
+            ),
+            "closed",
+        )
+
+    def begin(self) -> None:
+        _check_reply(self._request({"type": "begin"}), "begun")
+        self.in_transaction = True
+
+    def commit(self) -> dict:
+        """Atomically apply the transaction; returns the committed reply.
+
+        An ``overloaded`` error keeps the transaction open on *both*
+        sides — the server preserved the buffer precisely so COMMIT can
+        be retried after backoff.  Every other failure ends it.
+        """
+        try:
+            reply = _check_reply(self._request({"type": "commit"}), "committed")
+        except RemoteError as exc:
+            if exc.code != "overloaded":
+                self.in_transaction = False
+            raise
+        except Exception:
+            self.in_transaction = False
+            raise
+        self.in_transaction = False
+        return reply
+
+    def abort(self) -> dict:
+        try:
+            reply = _check_reply(self._request({"type": "abort"}), "aborted")
+        finally:
+            self.in_transaction = False
+        return reply
+
+    def stats(self) -> dict:
+        return _check_reply(self._request({"type": "stats"}), "stats")["payload"]
+
+    def close(self) -> None:
+        """Polite goodbye then socket close (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._roundtrip({"type": "close"})
+            except (ServerUnavailableError, ProtocolError):
+                pass
+            self._close_socket()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class AsyncClient(_ClientCore):
+    """Asyncio client: the same surface as :class:`Client`, awaited.
+
+    Construct via :meth:`connect`::
+
+        client = await AsyncClient.connect(host, port)
+        result = await client.execute("SELECT ...")
+        await client.close()
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7744, **kwargs):
+        super().__init__(host, port, **kwargs)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7744, **kwargs
+    ) -> "AsyncClient":
+        client = cls(host, port, **kwargs)
+        await client._connect()
+        return client
+
+    async def _connect(self) -> None:
+        await self._close_stream()
+        last: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError as exc:
+                last = exc
+                self._reader = self._writer = None
+                if attempt < self.max_retries:
+                    await asyncio.sleep(self.retry_delay * (attempt + 1))
+        if self._writer is None:
+            raise ServerUnavailableError(
+                f"cannot connect to {self.host}:{self.port}: {last}"
+            )
+        self.server_info = _check_reply(
+            await self._roundtrip(self._hello_message()), "hello"
+        )
+        for prepared in self._live_prepared():
+            fresh = _check_reply(
+                await self._roundtrip({"type": "prepare", "sql": prepared.sql}),
+                "prepared",
+            )
+            prepared.handle = fresh["handle"]
+
+    async def _close_stream(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+            self._reader = self._writer = None
+
+    async def _roundtrip(self, message: dict) -> dict:
+        if self._writer is None:
+            raise ServerUnavailableError("client is not connected")
+        try:
+            await write_frame(self._writer, message)
+            reply = await read_frame(self._reader)
+        except OSError as exc:
+            raise ServerUnavailableError(f"connection lost: {exc}") from exc
+        if reply is None:
+            raise ServerUnavailableError("server closed the connection")
+        return Client._filter_goodbye(message, reply)
+
+    async def _request(self, message: dict, prepared=None) -> dict:
+        try:
+            return await self._roundtrip(message)
+        except ServerUnavailableError:
+            if not self.reconnect:
+                raise
+            if self.in_transaction:
+                self.in_transaction = False
+                raise TransactionError(
+                    "connection lost mid-transaction; transaction aborted"
+                ) from None
+            await self._connect()
+            if prepared is not None:
+                # Reconnecting re-prepared it under a fresh handle.
+                message = {**message, "handle": prepared.handle}
+            return await self._roundtrip(message)
+
+    async def execute(self, sql: str, mode: str | None = None):
+        reply = await self._request(
+            {"type": "query", "sql": sql, "mode": mode or self.mode}
+        )
+        if reply.get("type") == "queued":
+            return reply
+        return _result_from_reply(_check_reply(reply, "result"))
+
+    async def prepare(self, sql: str) -> "AsyncPrepared":
+        reply = _check_reply(
+            await self._request({"type": "prepare", "sql": sql}), "prepared"
+        )
+        prepared = AsyncPrepared(
+            self, sql, reply["handle"], reply["parameter_count"]
+        )
+        self._prepared.append(prepared)
+        return prepared
+
+    async def _execute_prepared_async(self, prepared, params, mode):
+        reply = await self._request(
+            {
+                "type": "execute",
+                "handle": prepared.handle,
+                "params": None if params is None else list(params),
+                "mode": mode or self.mode,
+            },
+            prepared=prepared,
+        )
+        return _result_from_reply(_check_reply(reply, "result"))
+
+    async def begin(self) -> None:
+        _check_reply(await self._request({"type": "begin"}), "begun")
+        self.in_transaction = True
+
+    async def commit(self) -> dict:
+        """See :meth:`Client.commit`: ``overloaded`` keeps the transaction."""
+        try:
+            reply = _check_reply(
+                await self._request({"type": "commit"}), "committed"
+            )
+        except RemoteError as exc:
+            if exc.code != "overloaded":
+                self.in_transaction = False
+            raise
+        except Exception:
+            self.in_transaction = False
+            raise
+        self.in_transaction = False
+        return reply
+
+    async def abort(self) -> dict:
+        try:
+            reply = _check_reply(
+                await self._request({"type": "abort"}), "aborted"
+            )
+        finally:
+            self.in_transaction = False
+        return reply
+
+    async def stats(self) -> dict:
+        reply = _check_reply(await self._request({"type": "stats"}), "stats")
+        return reply["payload"]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                await self._roundtrip({"type": "close"})
+            except (ServerUnavailableError, ProtocolError):
+                pass
+            await self._close_stream()
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        await self.close()
+        return False
+
+
+class AsyncPrepared(Prepared):
+    """Prepared-statement helper of :class:`AsyncClient` (awaitable)."""
+
+    async def execute(self, params=None, mode: str | None = None) -> QueryResult:
+        return await self._client._execute_prepared_async(self, params, mode)
+
+    async def close(self) -> None:
+        if not self.closed:
+            _check_reply(
+                await self._client._request(
+                    {"type": "deallocate", "handle": self.handle},
+                    prepared=self,
+                ),
+                "closed",
+            )
+            self.closed = True
+            self._client._forget(self)

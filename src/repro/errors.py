@@ -74,3 +74,35 @@ class ExecutionError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised for invalid multi-query benchmark specifications."""
+
+
+class ServerError(ReproError):
+    """Base class for network service layer errors (server and client)."""
+
+
+class ProtocolError(ServerError):
+    """Raised when a wire frame or message violates the protocol."""
+
+
+class OverloadedError(ServerError):
+    """Raised when admission control rejects work (queue/pool full)."""
+
+
+class StatementTimeoutError(ServerError):
+    """Raised when a statement exceeds the server's statement timeout."""
+
+
+class ServerUnavailableError(ServerError):
+    """Raised by the client when the server cannot be (re)reached."""
+
+
+class RemoteError(ServerError):
+    """A typed error reply from the server, surfaced client-side.
+
+    ``code`` is the wire error code (e.g. ``"syntax"``, ``"catalog"``,
+    ``"timeout"``); the message is the server's description.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code

@@ -1,0 +1,53 @@
+"""Network service layer: wire protocol, sessions, gateway, TCP server.
+
+The serving pipeline, bottom up:
+
+* :mod:`repro.server.protocol` — length-prefixed JSON frames, typed
+  error replies, wire-safe value conversion;
+* :mod:`repro.server.gateway` — the bounded thread pool bridging the
+  asyncio loop onto the RW-locked engine;
+* :mod:`repro.server.session` — per-connection prepared-statement
+  handles and deferred BEGIN/COMMIT/ABORT transactions;
+* :mod:`repro.server.server` — the asyncio TCP server with admission
+  control, per-connection backpressure and graceful checkpointing
+  shutdown (plus :class:`ServerThread` for in-process embedding).
+
+The matching client library is :mod:`repro.client`.
+"""
+
+from repro.server.gateway import ExecutionGateway
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+    error_for_exception,
+    error_reply,
+    read_frame,
+    result_reply,
+    wire_row,
+    wire_rows,
+    wire_value,
+    write_frame,
+)
+from repro.server.server import ReproServer, ServerThread
+from repro.server.session import ClientSession
+
+__all__ = [
+    "ClientSession",
+    "ExecutionGateway",
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ReproServer",
+    "ServerThread",
+    "encode_frame",
+    "error_for_exception",
+    "error_reply",
+    "read_frame",
+    "result_reply",
+    "wire_row",
+    "wire_rows",
+    "wire_value",
+    "write_frame",
+]

@@ -1,0 +1,123 @@
+"""The execution gateway: async I/O bridged onto the threaded engine.
+
+The engine is synchronous and lock-based (per-column reader–writer
+locks, relation write locks, the durability barrier); the server's I/O
+is a single asyncio loop.  The gateway owns the bounded thread pool in
+between: statements run on worker threads — so a cracking write in one
+session interleaves safely with snapshot reads in another, exactly as
+in the embedded concurrent case — while the event loop stays free to
+service other connections.
+
+Admission control lives here too: at most ``pool_size`` statements run
+concurrently, at most ``max_pending`` may wait, and every statement is
+subject to ``statement_timeout``.  Past the pending bound the gateway
+raises :class:`~repro.errors.OverloadedError` instead of queueing
+unboundedly — the caller turns that into a typed ``overloaded`` reply,
+which is the protocol's backpressure signal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import OverloadedError, StatementTimeoutError
+
+
+class ExecutionGateway:
+    """Bounded bridge from the event loop onto engine worker threads.
+
+    Args:
+        pool_size: worker threads, i.e. maximum statements in flight.
+        max_pending: maximum statements admitted but not yet finished
+            (running + queued).  0 disables the bound.
+        statement_timeout: seconds after which a statement's *caller*
+            gives up (None = no timeout).  The worker thread finishes
+            the engine call in the background — a thread cannot be
+            killed mid-crack without corrupting the column — but its
+            result is discarded and the session gets a typed timeout.
+    """
+
+    def __init__(
+        self,
+        pool_size: int = 4,
+        max_pending: int = 64,
+        statement_timeout: float | None = None,
+    ) -> None:
+        if pool_size < 1:
+            raise OverloadedError(f"pool_size must be >= 1, got {pool_size}")
+        self.pool_size = pool_size
+        self.max_pending = max_pending
+        self.statement_timeout = statement_timeout
+        self._pool = ThreadPoolExecutor(
+            max_workers=pool_size, thread_name_prefix="repro-gateway"
+        )
+        self._pending = 0
+        self.executed = 0
+        self.timeouts = 0
+        self.rejected = 0
+        self.peak_pending = 0
+
+    async def run(self, fn, *args, timeout: float | None = None, **kwargs):
+        """Run ``fn(*args, **kwargs)`` on a worker thread and await it.
+
+        Raises :class:`OverloadedError` when the pending bound is hit
+        and :class:`StatementTimeoutError` past the timeout (the
+        per-call ``timeout`` overrides the gateway default).
+        """
+        if self.max_pending and self._pending >= self.max_pending:
+            self.rejected += 1
+            raise OverloadedError(
+                f"server overloaded: {self._pending} statements pending "
+                f"(bound {self.max_pending}); retry later"
+            )
+        limit = self.statement_timeout if timeout is None else timeout
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._pool, functools.partial(fn, *args, **kwargs)
+        )
+        self._pending += 1
+        self.peak_pending = max(self.peak_pending, self._pending)
+        # Released when the *engine call* finishes, not when the caller
+        # gives up: a timed-out statement still occupies a worker, and
+        # admission control must keep counting it or max_pending stops
+        # bounding real work.  The callback runs on the loop thread and
+        # consumes the zombie's exception so it is never logged as
+        # unretrieved.
+        future.add_done_callback(self._release)
+        try:
+            result = await asyncio.wait_for(
+                asyncio.shield(future), timeout=limit
+            )
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            raise StatementTimeoutError(
+                f"statement exceeded the {limit}s timeout (the engine "
+                "call completes in the background; its result is "
+                "discarded)"
+            ) from None
+        self.executed += 1
+        return result
+
+    def _release(self, future) -> None:
+        self._pending -= 1
+        if not future.cancelled():
+            future.exception()  # consume: abandoned calls may have raised
+
+    def stats(self) -> dict:
+        """Counter snapshot for the STATS reply and monitoring."""
+        return {
+            "pool_size": self.pool_size,
+            "max_pending": self.max_pending,
+            "statement_timeout": self.statement_timeout,
+            "pending": self._pending,
+            "peak_pending": self.peak_pending,
+            "executed": self.executed,
+            "timeouts": self.timeouts,
+            "rejected": self.rejected,
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool (after in-flight calls finish)."""
+        self._pool.shutdown(wait=wait)

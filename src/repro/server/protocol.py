@@ -1,0 +1,234 @@
+"""The wire protocol: length-prefixed JSON frames and typed messages.
+
+Framing
+    Every message — request or reply — is one *frame*: a 4-byte
+    big-endian unsigned length followed by that many bytes of UTF-8
+    JSON encoding a single object.  Frames larger than
+    :data:`MAX_FRAME_BYTES` are rejected on both sides, bounding the
+    memory one peer can force onto the other.
+
+Messages
+    Objects carry a ``"type"`` discriminator.  Requests:
+    ``hello`` ``query`` ``prepare`` ``execute`` ``deallocate``
+    ``begin`` ``commit`` ``abort`` ``stats`` ``close``.  Replies:
+    ``hello`` ``result`` ``prepared`` ``closed`` ``queued`` ``begun``
+    ``committed`` ``aborted`` ``stats`` ``goodbye`` and the typed
+    ``error`` reply (``code`` + ``message``; see :data:`ERROR_CODES`).
+
+Wire safety
+    Query results carry numpy scalars (``np.int64`` / ``np.float64`` /
+    ``np.str_``) that ``json.dumps`` rejects.  :func:`wire_value` /
+    :func:`wire_rows` convert them to plain Python values; the protocol
+    encoder and the ``repro sql`` printer both go through it, so the
+    two surfaces render identical values.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import (
+    CatalogError,
+    CrackError,
+    OverloadedError,
+    PersistError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    SQLAnalysisError,
+    SQLSyntaxError,
+    StatementTimeoutError,
+    TransactionError,
+)
+
+#: Bumped on incompatible wire changes; HELLO negotiates equality.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame (requests and replies alike).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct("!I")
+
+#: The typed error vocabulary.  Servers only ever send these codes, so
+#: clients can switch on them without string-matching messages.
+ERROR_CODES = (
+    "syntax",        # SQL failed to tokenise/parse
+    "analysis",      # SQL failed semantic analysis
+    "catalog",       # unknown/duplicate table and friends
+    "persist",       # durability layer refused the statement
+    "transaction",   # BEGIN/COMMIT/ABORT protocol violation
+    "crack",         # cracking-layer invariant violation
+    "engine",        # any other engine-side ReproError
+    "timeout",       # statement exceeded the server's timeout
+    "overloaded",    # admission control rejected the work
+    "protocol",      # malformed frame or message
+    "shutting_down", # server is draining; no new work accepted
+    "internal",      # unexpected non-Repro exception (bug shield)
+)
+
+_EXCEPTION_CODES: tuple[tuple[type, str], ...] = (
+    (SQLSyntaxError, "syntax"),
+    (SQLAnalysisError, "analysis"),
+    (CatalogError, "catalog"),
+    (PersistError, "persist"),
+    (TransactionError, "transaction"),
+    (CrackError, "crack"),
+    (StatementTimeoutError, "timeout"),
+    (OverloadedError, "overloaded"),
+    (ProtocolError, "protocol"),
+    (ServerError, "engine"),
+    (ReproError, "engine"),
+)
+
+
+# ---------------------------------------------------------------------- #
+# Wire-safe values
+# ---------------------------------------------------------------------- #
+
+
+def wire_value(value):
+    """A JSON-serialisable Python value for one result cell.
+
+    Engine rows mix Python values with numpy scalars (vectorized
+    pipelines hand back ``np.int64`` etc.), and ``json.dumps`` raises
+    ``TypeError`` on the latter.  Floats stay floats, ints ints,
+    strings strings — the conversion is value-preserving, which is what
+    lets the differential tests demand byte-equal JSON between
+    embedded and served execution.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def wire_row(row) -> list:
+    """One result row as a JSON-ready list."""
+    return [wire_value(value) for value in row]
+
+
+def wire_rows(rows) -> list[list]:
+    """All result rows as JSON-ready lists."""
+    return [wire_row(row) for row in rows]
+
+
+# ---------------------------------------------------------------------- #
+# Reply constructors
+# ---------------------------------------------------------------------- #
+
+
+def result_reply(result) -> dict:
+    """The ``result`` reply for a completed statement."""
+    return {
+        "type": "result",
+        "columns": list(result.columns),
+        "rows": wire_rows(result.rows),
+        "affected": int(result.affected),
+    }
+
+
+def error_reply(code: str, message: str) -> dict:
+    """A typed ``error`` reply."""
+    if code not in ERROR_CODES:
+        raise ProtocolError(f"unknown error code {code!r}")
+    return {"type": "error", "code": code, "message": message}
+
+
+def error_for_exception(exc: BaseException) -> dict:
+    """Map an engine/server exception onto its typed error reply."""
+    for exc_type, code in _EXCEPTION_CODES:
+        if isinstance(exc, exc_type):
+            return error_reply(code, str(exc))
+    return error_reply("internal", f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------- #
+# Framing
+# ---------------------------------------------------------------------- #
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message into its length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame's payload; protocol errors for non-objects."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+class FrameDecoder:
+    """Incremental frame decoder for stream transports (sync client).
+
+    Feed it byte chunks as they arrive; it yields complete messages and
+    buffers partial frames across calls::
+
+        decoder = FrameDecoder()
+        for message in decoder.feed(sock.recv(65536)):
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        self._buffer.extend(data)
+        messages: list[dict] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame of {length} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte limit"
+                )
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            messages.append(decode_payload(payload))
+
+
+async def read_frame(reader) -> dict | None:
+    """Read one frame from an asyncio stream (None on clean EOF)."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_payload(payload)
+
+
+async def write_frame(writer, message: dict) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -1,0 +1,348 @@
+"""The asyncio TCP server: admission control and graceful shutdown.
+
+One :class:`ReproServer` owns one shared
+:class:`~repro.sql.session.Database` and serves it to many concurrent
+connections.  The concurrency shape:
+
+* the event loop does all socket I/O and never runs engine code;
+* every engine call crosses the bounded
+  :class:`~repro.server.gateway.ExecutionGateway` thread pool, where
+  the engine's own RW locks make cracking writes and snapshot reads
+  interleave safely;
+* per connection, a *reader* coroutine feeds decoded frames into a
+  bounded queue and a *worker* coroutine replies in order.  When the
+  queue is full the reader simply stops reading the socket — kernel
+  buffers fill and the client blocks: backpressure without a single
+  dropped or reordered request;
+* admission control refuses connections past ``max_connections`` with
+  a typed ``overloaded`` error frame before closing.
+
+Graceful shutdown (:meth:`ReproServer.stop`, wired to SIGTERM by the
+``repro serve`` CLI) stops accepting, lets every worker drain what its
+queue already holds, sends ``goodbye``, waits for in-flight engine
+calls, then flushes the WAL and checkpoints the persistent store — so
+a restart recovers the full served state with an empty log tail.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.errors import ProtocolError
+from repro.server.gateway import ExecutionGateway
+from repro.server.protocol import error_reply, read_frame, write_frame
+from repro.server.session import ClientSession
+
+_EOF = object()       # client went away: stop silently
+_SHUTDOWN = object()  # server drains: say goodbye first
+
+
+class _Connection:
+    """Book-keeping for one live connection."""
+
+    def __init__(self, session, reader, writer, queue_depth: int) -> None:
+        self.session = session
+        self.reader = reader
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self.reader_task: asyncio.Task | None = None
+
+
+class ReproServer:
+    """Serve one database over the wire protocol.
+
+    Args:
+        database: the shared engine.  Build it with ``concurrent=True``
+            whenever ``pool_size`` > 1 (the CLI does).
+        host/port: bind address; port 0 picks a free port (see
+            :attr:`address` after :meth:`start`).
+        max_connections: admission bound on simultaneous connections.
+        queue_depth: per-connection request queue bound (backpressure).
+        pool_size: gateway worker threads (engine-side parallelism).
+        max_pending: gateway admission bound across all connections.
+        statement_timeout: seconds per statement (None = unbounded).
+        checkpoint_on_shutdown: checkpoint + close a persistent
+            database during :meth:`stop` (reopen restarts warm with an
+            empty WAL tail).
+        drain_timeout: seconds to wait for workers to drain on stop.
+    """
+
+    def __init__(
+        self,
+        database,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        queue_depth: int = 16,
+        pool_size: int = 4,
+        max_pending: int = 64,
+        statement_timeout: float | None = None,
+        checkpoint_on_shutdown: bool = True,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        self.database = database
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.queue_depth = queue_depth
+        self.checkpoint_on_shutdown = checkpoint_on_shutdown
+        self.drain_timeout = drain_timeout
+        self.gateway = ExecutionGateway(
+            pool_size=pool_size,
+            max_pending=max_pending,
+            statement_timeout=statement_timeout,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: dict[int, _Connection] = {}
+        self._workers: set[asyncio.Task] = set()
+        self._next_session = 1
+        self._draining = False
+        self.accepted = 0
+        self.refused = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self.port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — useful after binding port 0."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    async def serve_until(self, stop: asyncio.Event) -> dict:
+        """Run until ``stop`` is set, then shut down gracefully."""
+        if self._server is None:
+            await self.start()
+        await stop.wait()
+        return await self.stop()
+
+    async def stop(self) -> dict:
+        """Graceful shutdown; returns a report of what was drained.
+
+        Order: stop accepting → drain every connection's queued
+        requests (bounded by ``drain_timeout``) → wait out in-flight
+        engine calls → checkpoint + close the persistent store.
+        """
+        self._draining = True
+        drained = len(self._connections)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections.values()):
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+            try:
+                # A worker that already exited leaves a full queue behind;
+                # don't let its unread sentinel wedge the shutdown.
+                await asyncio.wait_for(conn.queue.put(_SHUTDOWN), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+        workers = list(self._workers)
+        if workers:
+            done, pending = await asyncio.wait(
+                workers, timeout=self.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.gateway.shutdown)
+        checkpoint = None
+        if self.database.persistent and self.checkpoint_on_shutdown:
+            checkpoint = await loop.run_in_executor(
+                None, self.database.checkpoint
+            )
+        await loop.run_in_executor(None, self.database.close)
+        return {
+            "connections_drained": drained,
+            "accepted": self.accepted,
+            "refused": self.refused,
+            "checkpoint": checkpoint,
+        }
+
+    def stats(self) -> dict:
+        """Server-level counters (merged into STATS replies)."""
+        return {
+            "connections": len(self._connections),
+            "max_connections": self.max_connections,
+            "accepted": self.accepted,
+            "refused": self.refused,
+            "draining": self._draining,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _accept(self, reader, writer) -> None:
+        if self._draining:
+            await self._refuse(writer, "shutting_down", "server is draining")
+            return
+        if len(self._connections) >= self.max_connections:
+            self.refused += 1
+            await self._refuse(
+                writer,
+                "overloaded",
+                f"connection limit of {self.max_connections} reached",
+            )
+            return
+        self.accepted += 1
+        session_id = self._next_session
+        self._next_session += 1
+        session = ClientSession(
+            self.database, self.gateway, session_id, server_stats=self.stats
+        )
+        conn = _Connection(session, reader, writer, self.queue_depth)
+        self._connections[session_id] = conn
+        conn.reader_task = asyncio.ensure_future(self._read_loop(conn))
+        worker = asyncio.ensure_future(self._work_loop(conn))
+        self._workers.add(worker)
+        worker.add_done_callback(self._workers.discard)
+        try:
+            await worker
+        finally:
+            self._connections.pop(session_id, None)
+
+    async def _refuse(self, writer, code: str, message: str) -> None:
+        try:
+            await write_frame(writer, error_reply(code, message))
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        """Feed frames into the bounded queue; a full queue stops the
+        socket read — that *is* the backpressure mechanism."""
+        while True:
+            try:
+                message = await read_frame(conn.reader)
+            except Exception as exc:
+                # Framing is unrecoverable mid-stream: report and hang up.
+                await conn.queue.put(("fatal", exc))
+                return
+            if message is None:
+                await conn.queue.put(_EOF)
+                return
+            await conn.queue.put(("message", message))
+
+    async def _work_loop(self, conn: _Connection) -> None:
+        from repro.server.protocol import error_for_exception
+
+        writer = conn.writer
+        try:
+            while True:
+                if self._draining and conn.queue.empty():
+                    # The drain sentinel can fail to land when the queue
+                    # was full at stop() time; once the backlog is served
+                    # the drained flag is authoritative.
+                    item = _SHUTDOWN
+                else:
+                    item = await conn.queue.get()
+                if item is _EOF:
+                    break
+                if item is _SHUTDOWN:
+                    # Everything queued before the drain signal has
+                    # already been served (FIFO queue); say goodbye.
+                    await write_frame(
+                        writer,
+                        {"type": "goodbye", "reason": "server shutdown"},
+                    )
+                    break
+                kind, payload = item
+                if kind == "fatal":
+                    await write_frame(writer, error_for_exception(payload))
+                    break
+                reply = await conn.session.handle(payload)
+                try:
+                    await write_frame(writer, reply)
+                except ProtocolError as exc:
+                    # The reply itself overflowed the frame cap (huge
+                    # result set): the error frame is small, so the
+                    # client gets a typed reply and the connection lives.
+                    await write_frame(writer, error_for_exception(exc))
+                if conn.session.closing:
+                    break
+        except (ConnectionError, OSError):
+            pass  # client vanished mid-reply
+        finally:
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class ServerThread:
+    """A server on a background thread — for tests, benches, examples.
+
+    Runs its own event loop; :meth:`start` blocks until the port is
+    bound and returns ``(host, port)``, :meth:`stop` triggers the same
+    graceful shutdown as SIGTERM and returns its report::
+
+        with Database(cracking=True, concurrent=True) as db:
+            thread = ServerThread(db)
+            host, port = thread.start()
+            ... connect Clients ...
+            report = thread.stop()
+    """
+
+    def __init__(self, database, **server_kwargs) -> None:
+        self.database = database
+        self.server_kwargs = server_kwargs
+        self.server: ReproServer | None = None
+        self.report: dict | None = None
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        assert self.server is not None
+        return self.server.address
+
+    def stop(self, timeout: float = 30.0) -> dict:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+        if self.report is None:
+            raise RuntimeError("server thread did not shut down cleanly")
+        return self.report
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = ReproServer(self.database, **self.server_kwargs)
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        self.report = await self.server.serve_until(self._stop)

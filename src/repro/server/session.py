@@ -1,0 +1,291 @@
+"""Per-connection server sessions: statement handles and transactions.
+
+One :class:`ClientSession` exists per TCP connection.  It layers two
+pieces of connection-scoped state on the shared
+:class:`~repro.sql.session.Database`:
+
+* **Prepared-statement handles** — PREPARE compiles a SELECT once via
+  :meth:`Database.prepare` and hands back an opaque handle; EXECUTE
+  binds positional parameters to it.  Handles die with the connection.
+
+* **Transaction state** — BEGIN opens a *deferred* transaction: every
+  mutating statement sent before COMMIT is validated, buffered and
+  acknowledged with a ``queued`` reply; SELECTs keep executing
+  immediately against the last committed state.  COMMIT applies the
+  whole buffer atomically through
+  :meth:`Database.execute_transaction` — all statements or none reach
+  the store and the WAL — and ABORT simply discards it.  Reads inside
+  a transaction therefore do *not* see that transaction's own writes;
+  that is the documented trade for an engine without MVC
+  (the paper leaves updates as future work, §7).
+
+The session never touches sockets: the server hands it decoded request
+messages and writes back whatever reply dict :meth:`handle` returns,
+so the whole request vocabulary is unit-testable without I/O.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    TransactionError,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    error_for_exception,
+    error_reply,
+    result_reply,
+)
+from repro.sql.ast_nodes import SelectStmt
+from repro.sql.parser import parse
+
+
+class ClientSession:
+    """Protocol state machine for one connection.
+
+    Args:
+        database: the shared engine (constructed with
+            ``concurrent=True`` when the gateway pool has >1 worker).
+        gateway: the execution gateway engine calls go through.
+        session_id: server-assigned id, echoed in HELLO and STATS.
+        server_stats: zero-argument callable returning the server's
+            counter dict, merged into STATS replies (None embeds only
+            engine/gateway/session counters).
+    """
+
+    def __init__(
+        self,
+        database,
+        gateway,
+        session_id: int,
+        server_stats=None,
+        default_mode: str | None = None,
+    ) -> None:
+        self.database = database
+        self.gateway = gateway
+        self.session_id = session_id
+        self.server_stats = server_stats
+        self.default_mode = default_mode
+        self.client_name = "?"
+        self.greeted = False
+        self.closing = False
+        self.statements = 0
+        self._prepared: dict[str, object] = {}
+        self._next_handle = 1
+        self._txn: list[str] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    async def handle(self, message: dict) -> dict:
+        """Process one request message and return its reply message.
+
+        Engine and protocol failures never escape: they come back as
+        typed ``error`` replies, so one bad statement cannot take the
+        connection down with it.
+        """
+        kind = message.get("type")
+        if not isinstance(kind, str):
+            return error_reply("protocol", "message lacks a string 'type'")
+        if not self.greeted and kind != "hello":
+            return error_reply(
+                "protocol", f"first message must be 'hello', got {kind!r}"
+            )
+        handler = getattr(self, f"_on_{kind}", None)
+        if handler is None:
+            return error_reply("protocol", f"unknown message type {kind!r}")
+        try:
+            return await handler(message)
+        except ReproError as exc:
+            return error_for_exception(exc)
+        except Exception as exc:  # bug shield: reply, don't disconnect
+            return error_for_exception(exc)
+
+    @staticmethod
+    def _sql_of(message: dict) -> str:
+        sql = message.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError("message needs a non-empty 'sql' string")
+        return sql
+
+    def _mode_of(self, message: dict) -> str | None:
+        mode = message.get("mode")
+        if mode is None:
+            return self.default_mode
+        if not isinstance(mode, str):
+            raise ProtocolError("'mode' must be a string when present")
+        return mode
+
+    # ------------------------------------------------------------------ #
+    # Handshake / lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def _on_hello(self, message: dict) -> dict:
+        version = message.get("protocol")
+        if version != PROTOCOL_VERSION:
+            return error_reply(
+                "protocol",
+                f"protocol version mismatch: server speaks "
+                f"{PROTOCOL_VERSION}, client sent {version!r}",
+            )
+        self.greeted = True
+        self.client_name = str(message.get("client", "?"))
+        return {
+            "type": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "server": "repro",
+            "session": self.session_id,
+            "cracking": self.database.cracking,
+            "mode": self.database.mode,
+            "persistent": self.database.persistent,
+        }
+
+    async def _on_close(self, message: dict) -> dict:
+        self.closing = True
+        return {"type": "goodbye", "reason": "client close"}
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+
+    async def _on_query(self, message: dict) -> dict:
+        sql = self._sql_of(message)
+        mode = self._mode_of(message)
+        self.statements += 1
+        if self._txn is not None:
+            # Classification must parse, and parsing belongs on a worker
+            # thread like any other engine work.
+            stmt = await self.gateway.run(parse, sql)
+            if self.database._mutation_target(stmt) is not None:
+                self._txn.append(sql)
+                return {"type": "queued", "queued": len(self._txn)}
+            if not isinstance(stmt, SelectStmt):
+                raise TransactionError(
+                    f"statement kind {type(stmt).__name__} is not allowed "
+                    "inside a transaction"
+                )
+        result = await self.gateway.run(self.database.execute, sql, mode=mode)
+        return result_reply(result)
+
+    async def _on_prepare(self, message: dict) -> dict:
+        sql = self._sql_of(message)
+        prepared = await self.gateway.run(self.database.prepare, sql)
+        handle = f"s{self._next_handle}"
+        self._next_handle += 1
+        self._prepared[handle] = prepared
+        return {
+            "type": "prepared",
+            "handle": handle,
+            "parameter_count": prepared.parameter_count,
+        }
+
+    def _prepared_of(self, message: dict):
+        handle = message.get("handle")
+        prepared = self._prepared.get(handle)
+        if prepared is None:
+            raise ProtocolError(f"unknown prepared-statement handle {handle!r}")
+        return handle, prepared
+
+    async def _on_execute(self, message: dict) -> dict:
+        _, prepared = self._prepared_of(message)
+        params = message.get("params")
+        if params is not None:
+            if not isinstance(params, list):
+                raise ProtocolError("'params' must be an array when present")
+            params = tuple(params)
+        mode = self._mode_of(message)
+        self.statements += 1
+        result = await self.gateway.run(prepared.execute, params, mode=mode)
+        return result_reply(result)
+
+    async def _on_deallocate(self, message: dict) -> dict:
+        handle, _ = self._prepared_of(message)
+        del self._prepared[handle]
+        return {"type": "closed", "handle": handle}
+
+    # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+
+    async def _on_begin(self, message: dict) -> dict:
+        if self._txn is not None:
+            raise TransactionError(
+                "already in a transaction (no nesting); COMMIT or ABORT first"
+            )
+        self._txn = []
+        return {"type": "begun"}
+
+    async def _on_commit(self, message: dict) -> dict:
+        if self._txn is None:
+            raise TransactionError("COMMIT outside a transaction")
+        buffered, self._txn = self._txn, None
+        if not buffered:
+            return {"type": "committed", "statements": 0, "affected": []}
+        # A failed batch rolled back entirely (Database.execute_transaction
+        # is all-or-nothing), so the transaction is over either way —
+        # except admission rejection, which happens before anything ran:
+        # keep the buffer so the client can retry COMMIT after backoff.
+        try:
+            results = await self.gateway.run(
+                self.database.execute_transaction,
+                buffered,
+                mode=self.default_mode,
+            )
+        except OverloadedError:
+            self._txn = buffered
+            raise
+        return {
+            "type": "committed",
+            "statements": len(results),
+            "affected": [int(result.affected) for result in results],
+        }
+
+    async def _on_abort(self, message: dict) -> dict:
+        if self._txn is None:
+            raise TransactionError("ABORT outside a transaction")
+        discarded, self._txn = len(self._txn), None
+        return {"type": "aborted", "discarded": discarded}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    async def _on_stats(self, message: dict) -> dict:
+        database = self.database
+
+        def engine_snapshot() -> dict:
+            # Catalog iteration is engine work: off the event loop, and
+            # under the catalog lock so concurrent DDL cannot mutate the
+            # table dict mid-walk.
+            with database._catalog_lock:
+                tables = {
+                    name: len(database.catalog.table(name))
+                    for name in database.catalog.table_names()
+                }
+            return {
+                "crackers": {
+                    f"{table}.{attr}": column.piece_count
+                    for (table, attr), column in database.cracked_columns().items()
+                },
+                "tables": tables,
+                "plan_cache": database.plan_cache_stats(),
+                "persistence": database.persistence_stats(),
+            }
+
+        payload = {
+            "session": {
+                "id": self.session_id,
+                "client": self.client_name,
+                "statements": self.statements,
+                "prepared": len(self._prepared),
+                "in_transaction": self._txn is not None,
+            },
+            "gateway": self.gateway.stats(),
+            **(await self.gateway.run(engine_snapshot)),
+        }
+        if self.server_stats is not None:
+            payload["server"] = self.server_stats()
+        return {"type": "stats", "payload": payload}

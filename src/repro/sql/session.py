@@ -35,6 +35,7 @@ from repro.sql.planner import PLAN_MODES, CrackerProvider, build_plan
 from repro.storage.catalog import Catalog
 from repro.storage.pages import IOTracker
 from repro.storage.table import Column, Relation, Schema
+from repro.storage.transaction import Transaction
 from repro.volcano.operators import Materialize
 from repro.volcano.vectorized import VecMaterialize
 
@@ -175,6 +176,16 @@ class Database:
         self._plan_cache = PlanCache(enabled=plan_cache)
         # Guards catalog mutation (CREATE / DROP / materialise-replace).
         self._catalog_lock = threading.RLock()
+        # Serialises mutating statements against multi-statement
+        # transactions: execute_transaction holds it for its whole batch,
+        # so no foreign mutation can land between a pre-image snapshot
+        # and a potential rollback.  Reentrant, so the transaction's own
+        # statements pass through.
+        self._txn_barrier = threading.RLock()
+        # > 0 while execute_transaction is applying its batch: WAL
+        # logging and checkpoints are deferred until the batch commits.
+        self._in_transaction = 0
+        self._closed = False
         # Durability: set up last, so recovery replays through a fully
         # initialised session.  _replaying suppresses re-logging while
         # the WAL tail re-executes.
@@ -260,17 +271,18 @@ class Database:
             raise PersistError(
                 "database is closed; reopen Database(persist_dir=...) to mutate"
             )
-        with self._durability_guard(mutates):
-            if isinstance(stmt, CreateTableStmt):
-                result = self._execute_create(stmt)
-            elif isinstance(stmt, InsertValuesStmt):
-                result = self._execute_insert_values(stmt)
-            elif isinstance(stmt, InsertSelectStmt):
-                result = self._execute_insert_select(stmt, mode=mode)
-            else:
-                result = self._execute_select(stmt, mode=mode)
-            if mutates:
-                self._log_durable(sql)
+        with self._txn_barrier if mutates else nullcontext():
+            with self._durability_guard(mutates):
+                if isinstance(stmt, CreateTableStmt):
+                    result = self._execute_create(stmt)
+                elif isinstance(stmt, InsertValuesStmt):
+                    result = self._execute_insert_values(stmt)
+                elif isinstance(stmt, InsertSelectStmt):
+                    result = self._execute_insert_select(stmt, mode=mode)
+                else:
+                    result = self._execute_select(stmt, mode=mode)
+                if mutates:
+                    self._log_durable(sql)
         if mutates:
             self._maybe_checkpoint()
         return result
@@ -314,6 +326,152 @@ class Database:
             self.execute(text)
             executed += 1
         return executed
+
+    @staticmethod
+    def _mutation_target(stmt) -> str | None:
+        """The table a statement mutates (None for a pure SELECT)."""
+        if isinstance(stmt, CreateTableStmt):
+            return stmt.name
+        if isinstance(stmt, (InsertValuesStmt, InsertSelectStmt)):
+            return stmt.table
+        if isinstance(stmt, SelectStmt) and stmt.into is not None:
+            return stmt.into
+        return None
+
+    def execute_transaction(
+        self, statements, mode: str | None = None
+    ) -> list[QueryResult]:
+        """Apply a batch of statements atomically: all or nothing.
+
+        Every statement is parsed up front (a syntax error aborts before
+        any state is touched), then the batch executes under the
+        transaction barrier — no foreign mutation can interleave — with
+        WAL logging deferred.  If any statement fails, the mutated
+        tables are restored to their byte-for-byte pre-image (base BATs
+        via :class:`~repro.storage.transaction.Transaction`, catalog
+        entries re-attached, crackers of mutated tables dropped so they
+        rebuild from the restored base) and nothing reaches the WAL.  On
+        success the mutating statements are logged in execution order
+        and the usual checkpoint policy runs.
+
+        This is the commit path of the network server's BEGIN/COMMIT
+        protocol; it is equally usable embedded::
+
+            db.execute_transaction([
+                "CREATE TABLE audit (k integer)",
+                "INSERT INTO audit VALUES (1)",
+            ])
+
+        Crackers of mutated tables lose their earned piece boundaries on
+        *rollback* only (correctness over warmth: they re-crack from the
+        restored base storage); a committed transaction keeps all state.
+
+        Atomicity here is about durable state, not read isolation:
+        concurrent SELECTs (which never take the transaction barrier)
+        can observe the batch mid-application — and, if it then fails,
+        data that was rolled back.  Serialising readers against commits
+        would need a global read-write lock this engine deliberately
+        does not have (the paper leaves updates as future work, §7).
+        """
+        texts = list(statements)
+        parsed = [(sql, parse(sql)) for sql in texts]
+        targets: list[str] = []
+        for _, stmt in parsed:
+            target = self._mutation_target(stmt)
+            if target is not None and target not in targets:
+                targets.append(target)
+        if (
+            targets
+            and self._persist is not None
+            and not self._replaying
+            and self._persist.closed
+        ):
+            raise PersistError(
+                "database is closed; reopen Database(persist_dir=...) to mutate"
+            )
+        with self._txn_barrier:
+            with self._durability_guard(bool(targets)):
+                undo = Transaction(0)
+                pre_relations: dict[str, Relation] = {}
+                with self._catalog_lock:
+                    for name in targets:
+                        if self.catalog.has_table(name):
+                            relation = self.catalog.table(name)
+                            pre_relations[name] = relation
+                            for bat in relation.bats.values():
+                                undo.protect(bat)
+                results: list[QueryResult] = []
+                self._in_transaction += 1
+                try:
+                    for sql, stmt in parsed:
+                        results.append(
+                            self._dispatch_statement(stmt, sql, mode)
+                        )
+                except BaseException:
+                    self._rollback_batch(undo, targets, pre_relations)
+                    raise
+                finally:
+                    self._in_transaction -= 1
+                undo.commit()
+                if self._persist is not None and not self._replaying:
+                    for sql, stmt in parsed:
+                        if self._mutation_target(stmt) is not None:
+                            self._persist.log_statement(sql)
+        if targets:
+            self._maybe_checkpoint()
+        return results
+
+    def _rollback_batch(
+        self,
+        undo: Transaction,
+        targets: list[str],
+        pre_relations: dict[str, Relation],
+    ) -> None:
+        """Undo a failed transaction batch (memory only; nothing was logged).
+
+        The pre-image restore rewrites BAT storage in place, so it runs
+        under every affected relation's write lock: a cracker being
+        built from the base column (``column_for`` takes the same lock)
+        can never snapshot half-restored data.  Lock-free scans racing
+        the abort may transiently see aborted rows — the same window
+        they already have against in-flight inserts.
+        """
+        held = []
+        try:
+            for name in sorted(pre_relations):  # stable order: no deadlocks
+                lock = pre_relations[name].write_lock
+                lock.acquire()
+                held.append(lock)
+            undo.rollback()
+        finally:
+            for lock in reversed(held):
+                lock.release()
+        with self._catalog_lock:
+            for name in targets:
+                pre = pre_relations.get(name)
+                current = (
+                    self.catalog.table(name)
+                    if self.catalog.has_table(name)
+                    else None
+                )
+                if pre is None:
+                    # Created inside the aborted transaction.
+                    if current is not None:
+                        self.catalog.drop_table(name)
+                elif current is not pre:
+                    # SELECT INTO replaced the relation object mid-batch;
+                    # re-attach the pre-image object (its BATs were just
+                    # restored by undo.rollback()).
+                    if current is not None:
+                        self.catalog.drop_table(name)
+                    self.catalog.create_table(pre)
+                if self._cracker is not None:
+                    # Cracker columns are private copies: restoring the
+                    # base BATs does not unwind their pending merges, so
+                    # drop them — they rebuild from the restored base.
+                    self._cracker.drop_table(name)
+        for name in targets:
+            self._plan_cache.invalidate_table(name)
 
     def explain(self, sql: str) -> str:
         """The analyzed normal form and cracker advice for a SELECT."""
@@ -480,13 +638,25 @@ class Database:
         return nullcontext()
 
     def _log_durable(self, sql: str) -> None:
-        """Append one successfully executed mutation to the WAL."""
-        if self._persist is not None and not self._replaying:
+        """Append one successfully executed mutation to the WAL.
+
+        Deferred while a transaction batch is applying: the batch logs
+        its statements itself, only after every one of them succeeded.
+        """
+        if (
+            self._persist is not None
+            and not self._replaying
+            and not self._in_transaction
+        ):
             self._persist.log_statement(sql)
 
     def _maybe_checkpoint(self) -> None:
         """Run a policy-triggered checkpoint (outside the barrier)."""
-        if self._persist is not None and not self._replaying:
+        if (
+            self._persist is not None
+            and not self._replaying
+            and not self._in_transaction
+        ):
             self._persist.maybe_checkpoint(self)
 
     def checkpoint(self) -> dict:
@@ -511,9 +681,23 @@ class Database:
         return {"persistent": True, **self._persist.stats()}
 
     def close(self) -> None:
-        """Release durable resources (flush + close the WAL handle)."""
+        """Release durable resources (flush + close the WAL handle).
+
+        Idempotent: server shutdown paths and ``with`` blocks may both
+        close the same database; every call after the first is a no-op.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._persist is not None:
             self._persist.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def _propagate_inserts(
         self, table: str, relation, first_oid: int, rows

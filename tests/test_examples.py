@@ -52,6 +52,18 @@ def test_sensor_archive_runs(capsys, monkeypatch):
     assert "loss-less reconstruction of the archive: True" in output
 
 
+def test_client_server_runs(capsys, monkeypatch):
+    _run_example(
+        "client_server.py", monkeypatch, N_ROWS=20_000, QUERIES_PER_CLIENT=12
+    )
+    output = capsys.readouterr().out
+    assert "self-organised into" in output
+    assert "committed transaction of 2 statements" in output
+    assert "after abort the audit table still has 1 row(s)" in output
+    assert "typed error reply: code=" in output
+    assert "graceful shutdown" in output
+
+
 def test_sql_session_runs(capsys, monkeypatch):
     _run_example("sql_session.py", monkeypatch, N_ROWS=2_000)
     output = capsys.readouterr().out

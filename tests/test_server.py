@@ -1,0 +1,542 @@
+"""End-to-end tests for the network service layer.
+
+The headline is the differential acceptance test: the full cross-engine
+oracle workload — including prepared statements and an aborted
+transaction — executed embedded and over the wire must produce
+*byte-equal* JSON result payloads.  Around it: multi-client concurrency,
+admission control (connection limit, overload, statement timeout),
+protocol robustness, reconnect, and graceful checkpointing shutdown.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from oracle import assert_sorted_rows_equal, load_standard, random_range_queries, standard_query_suite
+from repro.client import Client
+from repro.errors import (
+    OverloadedError,
+    RemoteError,
+    ServerUnavailableError,
+    StatementTimeoutError,
+    TransactionError,
+)
+from repro.server import ClientSession, FrameDecoder, ServerThread, encode_frame
+from repro.server.gateway import ExecutionGateway
+from repro.server.protocol import PROTOCOL_VERSION, wire_rows
+from repro.sql import Database
+
+SEED = 20260726
+
+
+@contextmanager
+def served(database=None, **server_kwargs):
+    """A database served on a background thread, stopped afterwards."""
+    if database is None:
+        database = Database(cracking=True, mode="vector", concurrent=True)
+    thread = ServerThread(database, **server_kwargs)
+    host, port = thread.start()
+    try:
+        yield database, host, port, thread
+    finally:
+        if thread.report is None:
+            thread.stop()
+
+
+def wire_json(rows) -> str:
+    """The canonical byte form results are compared in."""
+    return json.dumps(wire_rows(rows), separators=(",", ":"))
+
+
+class TestDifferentialOracle:
+    """Protocol-level results byte-equal embedded execution."""
+
+    def test_oracle_workload_prepared_and_aborted_txn(self):
+        embedded = Database(cracking=True, mode="vector")
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                rng = np.random.default_rng(SEED)
+                load_standard(embedded, seed=SEED)
+                load_standard(client, seed=SEED)
+
+                workload = standard_query_suite(rng) + random_range_queries(
+                    rng, 40, insert_every=7
+                )
+                for statement in workload:
+                    expected = embedded.execute(statement)
+                    actual = client.execute(statement)
+                    assert actual.columns == list(expected.columns), statement
+                    assert actual.affected == expected.affected, statement
+                    assert wire_json(actual.rows) == wire_json(
+                        expected.rows
+                    ), statement
+
+                # Prepared statements: same template, several bindings.
+                template = "SELECT count(*), sum(r.a) FROM r WHERE a BETWEEN 0 AND 10"
+                embedded_stmt = embedded.prepare(template)
+                remote_stmt = client.prepare(template)
+                assert remote_stmt.parameter_count == embedded_stmt.parameter_count
+                for low, high in ((0, 10), (100, 400), (250, 900), (700, 50)):
+                    expected = embedded_stmt.execute((low, high))
+                    actual = remote_stmt.execute((low, high))
+                    assert wire_json(actual.rows) == wire_json(expected.rows)
+
+                # An aborted transaction leaves no trace: the embedded
+                # oracle simply never runs the discarded statements.
+                client.begin()
+                client.execute("INSERT INTO r VALUES (5000000, 1, 0.5, 'tX')")
+                client.execute("CREATE TABLE scratch (x integer)")
+                reply = client.abort()
+                assert reply["discarded"] == 2
+
+                # A committed transaction matches execute_transaction.
+                txn = [
+                    "INSERT INTO r VALUES (6000000, 42, 1.25, 't1')",
+                    "INSERT INTO s VALUES (6000000, 3)",
+                ]
+                client.begin()
+                for statement in txn:
+                    assert client.execute(statement)["type"] == "queued"
+                committed = client.commit()
+                assert committed["statements"] == 2
+                embedded.execute_transaction(txn)
+
+                for statement in [
+                    "SELECT count(*) FROM r",
+                    "SELECT count(*) FROM s",
+                    "SELECT r.k, r.a FROM r WHERE a BETWEEN 0 AND 45",
+                    "SELECT s.g, count(*) FROM r, s WHERE r.k = s.k GROUP BY s.g",
+                ]:
+                    expected = embedded.execute(statement)
+                    actual = client.execute(statement)
+                    assert wire_json(actual.rows) == wire_json(
+                        expected.rows
+                    ), statement
+                assert not embedded.catalog.has_table("scratch")
+                with pytest.raises(RemoteError) as info:
+                    client.execute("SELECT * FROM scratch")
+                assert info.value.code in ("catalog", "analysis")
+
+    def test_modes_and_scalar_types_roundtrip(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                client.execute("CREATE TABLE m (k integer, w float, tag varchar)")
+                client.execute(
+                    "INSERT INTO m VALUES (1, 0.5, 'a'), (2, 1.5, 'b')"
+                )
+                for mode in ("tuple", "vector"):
+                    result = client.execute("SELECT * FROM m", mode=mode)
+                    assert sorted(result.rows) == [(1, 0.5, "a"), (2, 1.5, "b")]
+                    for row in result.rows:
+                        assert all(
+                            not isinstance(v, np.generic) for v in row
+                        )
+
+
+class TestConcurrentClients:
+    def test_four_clients_agree_with_embedded(self):
+        embedded = Database(cracking=True, mode="vector")
+        load_standard(embedded, seed=SEED)
+        rng = np.random.default_rng(SEED + 1)
+        queries = random_range_queries(rng, 24)  # SELECT-only workload
+        expected = {q: embedded.execute(q) for q in queries}
+
+        with served(pool_size=4) as (database, host, port, _thread):
+            load_standard(database, seed=SEED)
+            failures: list = []
+
+            def hammer(offset: int) -> None:
+                try:
+                    with Client(host, port) as client:
+                        for i in range(len(queries)):
+                            query = queries[(i + offset) % len(queries)]
+                            result = client.execute(query)
+                            assert_sorted_rows_equal(
+                                expected[query].rows, result.rows, query
+                            )
+                except Exception as exc:  # pragma: no cover - failure path
+                    failures.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(i * 5,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not failures, failures
+            database.check_invariants()
+
+
+class TestAdmissionControl:
+    def test_connection_limit_refused_with_typed_error(self):
+        with served(max_connections=1) as (_, host, port, _thread):
+            with Client(host, port) as first:
+                first.execute("CREATE TABLE r (k integer)")
+                with pytest.raises(RemoteError) as info:
+                    Client(host, port)
+                assert info.value.code == "overloaded"
+            # Slot freed after the first client leaves.
+            deadline = 40
+            for _ in range(deadline):
+                try:
+                    second = Client(host, port)
+                    break
+                except (RemoteError, ServerUnavailableError):
+                    import time
+
+                    time.sleep(0.05)
+            else:  # pragma: no cover - failure path
+                pytest.fail("connection slot never freed")
+            second.close()
+
+    def test_statement_timeout_is_typed(self):
+        database = Database(cracking=True, concurrent=True)
+        real_execute = database.execute
+
+        def slow_execute(sql, mode=None):
+            import time
+
+            time.sleep(0.4)
+            return real_execute(sql, mode=mode)
+
+        database.execute = slow_execute
+        with served(database, statement_timeout=0.05) as (_, host, port, _t):
+            with Client(host, port) as client:
+                with pytest.raises(RemoteError) as info:
+                    client.execute("CREATE TABLE r (k integer)")
+                assert info.value.code == "timeout"
+
+    def test_gateway_overload_and_timeout(self):
+        async def scenario():
+            import time
+
+            gateway = ExecutionGateway(
+                pool_size=1, max_pending=1, statement_timeout=None
+            )
+            release = threading.Event()
+            first = asyncio.ensure_future(gateway.run(release.wait, 5))
+            await asyncio.sleep(0.05)  # let it occupy the only slot
+            with pytest.raises(OverloadedError):
+                await gateway.run(lambda: None)
+            release.set()
+            await first
+            with pytest.raises(StatementTimeoutError):
+                await gateway.run(time.sleep, 0.5, timeout=0.05)
+            stats = gateway.stats()
+            assert stats["rejected"] == 1
+            assert stats["timeouts"] == 1
+            assert stats["executed"] == 1
+            gateway.shutdown(wait=False)
+
+        asyncio.run(scenario())
+
+
+class TestProtocolRobustness:
+    def test_hello_required_first(self):
+        with served() as (_, host, port, _thread):
+            sock = socket.create_connection((host, port))
+            try:
+                decoder = FrameDecoder()
+                sock.sendall(encode_frame({"type": "query", "sql": "SELECT 1"}))
+                reply = self._read_one(sock, decoder)
+                assert reply["type"] == "error"
+                assert reply["code"] == "protocol"
+                # The connection survives; a proper hello still works.
+                sock.sendall(
+                    encode_frame(
+                        {"type": "hello", "protocol": PROTOCOL_VERSION}
+                    )
+                )
+                assert self._read_one(sock, decoder)["type"] == "hello"
+            finally:
+                sock.close()
+
+    def test_version_mismatch_rejected(self):
+        with served() as (_, host, port, _thread):
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(encode_frame({"type": "hello", "protocol": 99}))
+                reply = self._read_one(sock, FrameDecoder())
+                assert reply["type"] == "error"
+                assert reply["code"] == "protocol"
+            finally:
+                sock.close()
+
+    def test_undecodable_frame_is_fatal_but_typed(self):
+        with served() as (_, host, port, _thread):
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(len(b"nope").to_bytes(4, "big") + b"nope")
+                reply = self._read_one(sock, FrameDecoder())
+                assert reply["type"] == "error"
+                assert reply["code"] == "protocol"
+                assert sock.recv(65536) == b""  # server hung up
+            finally:
+                sock.close()
+
+    def test_unknown_type_and_bad_payloads(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                for message in (
+                    {"type": "warp"},
+                    {"type": "query"},
+                    {"type": "query", "sql": "   "},
+                    {"type": "execute", "handle": "s999"},
+                    {"no_type": True},
+                ):
+                    reply = client._request(message)
+                    assert reply["type"] == "error"
+                    assert reply["code"] == "protocol", message
+
+    def test_oversized_reply_becomes_typed_error_not_disconnect(
+        self, monkeypatch
+    ):
+        import repro.server.protocol as protocol
+
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                client.execute("CREATE TABLE r (k integer)")
+                for base in range(0, 60, 20):
+                    values = ", ".join(f"({base + i})" for i in range(20))
+                    client.execute(f"INSERT INTO r VALUES {values}")
+                # Shrink the cap under the server's feet: the 60-row
+                # result frame now overflows, but the error frame fits.
+                monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 256)
+                with pytest.raises(RemoteError) as info:
+                    client.execute("SELECT r.k FROM r")
+                assert info.value.code == "protocol"
+                # The connection survived; small results still flow.
+                assert client.execute("SELECT count(*) FROM r").scalar() == 60
+
+    @staticmethod
+    def _read_one(sock, decoder) -> dict:
+        while True:
+            data = sock.recv(65536)
+            assert data, "connection closed before a reply arrived"
+            messages = decoder.feed(data)
+            if messages:
+                return messages[0]
+
+
+class TestTransactions:
+    def test_txn_protocol_violations(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                with pytest.raises(RemoteError) as info:
+                    client.commit()
+                assert info.value.code == "transaction"
+                with pytest.raises(RemoteError):
+                    client.abort()
+                client.begin()
+                with pytest.raises(RemoteError):
+                    client.begin()
+                assert client.commit()["statements"] == 0
+
+    def test_commit_rejected_by_admission_keeps_the_buffer(self):
+        # Overload happens *before* anything executed, so the typed
+        # "retry later" must actually be retryable: the transaction
+        # buffer survives and the next COMMIT applies it.
+        async def scenario():
+            from repro.errors import OverloadedError
+
+            db = Database(cracking=True, concurrent=True)
+            db.execute("CREATE TABLE r (k integer)")
+            gateway = ExecutionGateway(pool_size=1)
+            session = ClientSession(db, gateway, 1)
+            await session.handle({"type": "hello", "protocol": PROTOCOL_VERSION})
+            await session.handle({"type": "begin"})
+            queued = await session.handle(
+                {"type": "query", "sql": "INSERT INTO r VALUES (1)"}
+            )
+            assert queued["type"] == "queued"
+            real_run = gateway.run
+            rejected = {"n": 0}
+
+            async def flaky(fn, *args, **kwargs):
+                if fn == db.execute_transaction and not rejected["n"]:
+                    rejected["n"] += 1
+                    raise OverloadedError("busy")
+                return await real_run(fn, *args, **kwargs)
+
+            gateway.run = flaky
+            error = await session.handle({"type": "commit"})
+            assert error["type"] == "error"
+            assert error["code"] == "overloaded"
+            retried = await session.handle({"type": "commit"})
+            assert retried["type"] == "committed"
+            assert retried["statements"] == 1
+            assert db.execute("SELECT count(*) FROM r").scalar() == 1
+            gateway.shutdown(wait=False)
+
+        asyncio.run(scenario())
+
+    def test_failed_commit_rolls_back_everything(self):
+        with served() as (database, host, port, _thread):
+            with Client(host, port) as client:
+                client.execute("CREATE TABLE r (k integer, a integer)")
+                client.execute("INSERT INTO r VALUES (1, 10)")
+                client.begin()
+                client.execute("INSERT INTO r VALUES (2, 20)")
+                client.execute("INSERT INTO missing VALUES (3)")
+                with pytest.raises(RemoteError) as info:
+                    client.commit()
+                assert info.value.code == "catalog"
+                assert client.execute("SELECT count(*) FROM r").scalar() == 1
+                database.check_invariants()
+
+
+class TestReconnect:
+    def test_client_survives_server_restart(self):
+        database = Database(cracking=True, concurrent=True)
+        thread = ServerThread(database)
+        host, port = thread.start()
+        client = Client(host, port, retry_delay=0.1, max_retries=10)
+        client.execute("CREATE TABLE r (k integer, a integer)")
+        client.execute("INSERT INTO r VALUES (1, 10), (2, 20)")
+        stmt = client.prepare("SELECT count(*) FROM r WHERE a BETWEEN 0 AND 15")
+        assert stmt.execute().scalar() == 1
+        old_handle = stmt.handle
+
+        thread.stop()
+        # Same engine, fresh server on the same port: handles are gone.
+        thread2 = ServerThread(database, port=port)
+        thread2.start()
+        try:
+            assert client.execute("SELECT count(*) FROM r").scalar() == 2
+            assert stmt.execute((0, 25)).scalar() == 2  # re-prepared
+            assert client.server_info["session"] is not None
+            assert stmt.handle is not None and old_handle is not None
+        finally:
+            client.close()
+            thread2.stop()
+
+    def test_reconnect_refreshes_stale_prepared_handles(self):
+        # Handles are session-scoped and shift on re-prepare: close the
+        # first statement so the survivor's old handle ("s2") cannot
+        # coincide with the handle the new session assigns it ("s1").
+        database = Database(cracking=True, concurrent=True)
+        thread = ServerThread(database)
+        host, port = thread.start()
+        client = Client(host, port, retry_delay=0.1, max_retries=10)
+        client.execute("CREATE TABLE r (k integer, a integer)")
+        client.execute("INSERT INTO r VALUES (1, 10), (2, 20)")
+        first = client.prepare("SELECT count(*) FROM r WHERE a BETWEEN 0 AND 5")
+        first.close()
+        second = client.prepare("SELECT count(*) FROM r WHERE a BETWEEN 0 AND 25")
+        assert second.handle != first.handle
+        thread.stop()
+        thread2 = ServerThread(database, port=port)
+        thread2.start()
+        try:
+            # The retried execute must carry the re-prepared handle.
+            assert second.execute().scalar() == 2
+        finally:
+            client.close()
+            thread2.stop()
+
+    def test_commit_overloaded_keeps_client_txn_state(self):
+        # The server keeps the buffer on admission rejection; the client
+        # must mirror that, so COMMIT is retryable and begin() still
+        # refuses nesting.
+        from repro.errors import OverloadedError
+
+        database = Database(cracking=True, concurrent=True)
+        real = database.execute_transaction
+        state = {"rejected": False}
+
+        def flaky(statements, mode=None):
+            if not state["rejected"]:
+                state["rejected"] = True
+                raise OverloadedError("busy")
+            return real(statements, mode=mode)
+
+        database.execute_transaction = flaky
+        with served(database) as (_, host, port, _thread):
+            with Client(host, port) as client:
+                client.execute("CREATE TABLE r (k integer)")
+                client.begin()
+                client.execute("INSERT INTO r VALUES (1)")
+                with pytest.raises(RemoteError) as info:
+                    client.commit()
+                assert info.value.code == "overloaded"
+                assert client.in_transaction
+                with pytest.raises(RemoteError):  # still in the txn
+                    client.begin()
+                reply = client.commit()
+                assert reply["statements"] == 1
+                assert client.execute("SELECT count(*) FROM r").scalar() == 1
+                assert not client.in_transaction
+
+    def test_transaction_does_not_survive_reconnect(self):
+        database = Database(cracking=True, concurrent=True)
+        thread = ServerThread(database)
+        host, port = thread.start()
+        client = Client(host, port, retry_delay=0.1, max_retries=10)
+        client.execute("CREATE TABLE r (k integer)")
+        client.begin()
+        client.execute("INSERT INTO r VALUES (1)")
+        thread.stop()
+        thread2 = ServerThread(database, port=port)
+        thread2.start()
+        try:
+            with pytest.raises(TransactionError):
+                client.execute("INSERT INTO r VALUES (2)")
+            # After the forced abort the client is usable again.
+            assert client.execute("SELECT count(*) FROM r").scalar() == 0
+        finally:
+            client.close()
+            thread2.stop()
+
+    def test_no_reconnect_raises_unavailable(self):
+        database = Database(cracking=True, concurrent=True)
+        thread = ServerThread(database)
+        host, port = thread.start()
+        client = Client(host, port, reconnect=False)
+        thread.stop()
+        with pytest.raises(ServerUnavailableError):
+            client.execute("SELECT 1 FROM nosuch")
+
+
+class TestGracefulShutdown:
+    def test_shutdown_checkpoints_persistent_store(self, tmp_path):
+        store = tmp_path / "store"
+        database = Database(
+            cracking=True, concurrent=True, persist_dir=store
+        )
+        thread = ServerThread(database)
+        host, port = thread.start()
+        with Client(host, port) as client:
+            client.execute("CREATE TABLE r (k integer, a integer)")
+            client.execute("INSERT INTO r VALUES (1, 10), (2, 20), (3, 30)")
+            client.execute("SELECT count(*) FROM r WHERE a BETWEEN 5 AND 25")
+        report = thread.stop()
+        assert report["checkpoint"] is not None
+        assert report["checkpoint"]["statements_compacted"] == 2
+
+        with Database(cracking=True, persist_dir=store) as recovered:
+            stats = recovered.persistence_stats()
+            assert stats["recovery_snapshot_loaded"] is True
+            assert stats["recovery_wal_statements_replayed"] == 0  # empty tail
+            assert recovered.execute("SELECT count(*) FROM r").scalar() == 3
+            # Warm restart: the crack earned over the wire came back.
+            assert recovered.piece_count("r", "a") > 1
+
+    def test_stats_reply_shape(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                client.execute("CREATE TABLE r (k integer, a integer)")
+                client.execute("INSERT INTO r VALUES (1, 10)")
+                client.execute("SELECT count(*) FROM r WHERE a BETWEEN 0 AND 99")
+                stats = client.stats()
+                assert stats["server"]["connections"] == 1
+                assert stats["gateway"]["executed"] >= 3
+                assert stats["tables"] == {"r": 1}
+                assert stats["crackers"] == {"r.a": pytest.approx(2, abs=1)}
+                assert stats["session"]["statements"] == 3
+                assert stats["persistence"] == {"persistent": False}

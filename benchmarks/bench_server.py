@@ -8,10 +8,13 @@ then enjoying index-lookup speed.  This bench records:
 * **embedded** — the in-process baseline: one thread calling
   ``Database.execute`` directly (no sockets, no JSON).
 * **served** — the same workload through ``ReproServer`` + ``Client``
-  over loopback TCP, for 1 and for ``CLIENTS`` concurrent clients:
-  aggregate queries/second plus p50/p99 per-query latency.  The wire
-  tax (framing, JSON, thread handoff) is the honest price of
-  multi-client access and is reported, not hidden.
+  over loopback TCP, swept across wire-protocol variants (``v1`` JSON
+  rows, ``v2`` binary columnar frames, ``v2_pipelined`` batched via
+  ``execute_many``), each for 1 and for ``CLIENTS`` concurrent
+  clients: aggregate queries/second plus p50/p99 per-query latency.
+  The wire tax (framing, serialisation, thread handoff) is the honest
+  price of multi-client access and is reported per variant, not
+  hidden.
 * **burn_in** — per-query mean latency at power-of-two checkpoints
   while ``CLIENTS`` clients concurrently crack a cold column: the
   curve must fall as the column converges, proving the burn-in
@@ -40,6 +43,13 @@ FULL_ROWS = 1_000_000
 CLIENTS = 4
 QUERIES_PER_CLIENT = 400
 BURNIN_PER_CLIENT = 256
+PIPELINE_WINDOW = 64
+# (name, pinned protocol, execute_many window; 0 = sequential round trips)
+VARIANTS = (
+    ("v1", "v1", 0),
+    ("v2", "v2", 0),
+    ("v2_pipelined", "v2", PIPELINE_WINDOW),
+)
 RESULT_PATH = Path(__file__).resolve().parent / "BENCH_server.json"
 
 
@@ -71,19 +81,38 @@ def percentile_ms(latencies: list[float], q: float) -> float:
     return round(float(np.percentile(np.array(latencies), q)) * 1000, 4)
 
 
-def _run_client(host, port, statements, latencies, failures) -> None:
+def _run_client(
+    host, port, statements, latencies, failures, protocol=None, pipeline=0
+) -> None:
     try:
-        with Client(host, port) as client:
-            for statement in statements:
-                started = time.perf_counter()
-                client.execute(statement)
-                latencies.append(time.perf_counter() - started)
+        with Client(host, port, protocol=protocol) as client:
+            if pipeline:
+                # Batched round trips: per-query latency is the window
+                # wall time amortised over its statements (individual
+                # replies are not separable once pipelined).
+                for i in range(0, len(statements), pipeline):
+                    window = statements[i : i + pipeline]
+                    started = time.perf_counter()
+                    client.execute_many(window, window=pipeline)
+                    each = (time.perf_counter() - started) / len(window)
+                    latencies.extend(each for _ in window)
+            else:
+                for statement in statements:
+                    started = time.perf_counter()
+                    client.execute(statement)
+                    latencies.append(time.perf_counter() - started)
     except Exception as exc:  # pragma: no cover - failure path
         failures.append(exc)
 
 
 def _measure_served(
-    n_rows: int, n_clients: int, per_client: int, seed: int, warm: bool
+    n_rows: int,
+    n_clients: int,
+    per_client: int,
+    seed: int,
+    warm: bool,
+    protocol: str | None = None,
+    pipeline: int = 0,
 ) -> dict:
     """Throughput + latency of ``n_clients`` concurrent networked clients."""
     database = build_database(n_rows)
@@ -93,8 +122,7 @@ def _measure_served(
     try:
         if warm:  # converge first so the sustained phase is measured
             with Client(host, port) as client:
-                for statement in statements:
-                    client.execute(statement)
+                client.execute_many(statements)
         per_thread: list[list[float]] = [[] for _ in range(n_clients)]
         failures: list = []
         workers = [
@@ -107,6 +135,7 @@ def _measure_served(
                     per_thread[i],
                     failures,
                 ),
+                kwargs={"protocol": protocol, "pipeline": pipeline},
             )
             for i, offset in enumerate(
                 range(0, n_clients * 3, 3)[:n_clients]
@@ -122,6 +151,8 @@ def _measure_served(
             raise RuntimeError(f"client failures: {failures}")
         merged = [value for bucket in per_thread for value in bucket]
         return {
+            "protocol": protocol or "negotiated",
+            "pipeline_window": pipeline,
             "clients": n_clients,
             "queries": len(merged),
             "wall_s": round(wall, 4),
@@ -197,25 +228,41 @@ def main(n_rows: int = FULL_ROWS, result_path: Path = RESULT_PATH) -> dict:
         f"p99 {report['embedded']['p99_ms']:.3f} ms"
     )
 
-    # Served, sustained phase -------------------------------------------
+    # Served, sustained phase: one sweep per protocol variant -----------
     report["served"] = {}
-    for n_clients in (1, CLIENTS):
-        measured = _measure_served(
-            n_rows, n_clients, QUERIES_PER_CLIENT, seed=11, warm=True
+    report["wire_tax_vs_embedded"] = {}
+    for name, protocol, pipeline in VARIANTS:
+        variant: dict = {}
+        for n_clients in (1, CLIENTS):
+            measured = _measure_served(
+                n_rows,
+                n_clients,
+                QUERIES_PER_CLIENT,
+                seed=11,
+                warm=True,
+                protocol=protocol,
+                pipeline=pipeline,
+            )
+            measured.pop("per_thread")
+            variant[str(n_clients)] = measured
+            print(
+                f"{name:>13} x{n_clients}: {measured['qps']:10.0f} q/s   "
+                f"p50 {measured['p50_ms']:.3f} ms  "
+                f"p99 {measured['p99_ms']:.3f} ms"
+            )
+        single = variant["1"]["qps"]
+        variant["scaling_vs_single_client"] = round(
+            variant[str(CLIENTS)]["qps"] / single, 3
         )
-        measured.pop("per_thread")
-        report["served"][str(n_clients)] = measured
-        print(
-            f"served x{n_clients:<5}: {measured['qps']:10.0f} q/s   "
-            f"p50 {measured['p50_ms']:.3f} ms  p99 {measured['p99_ms']:.3f} ms"
+        report["served"][name] = variant
+        report["wire_tax_vs_embedded"][name] = round(
+            report["embedded"]["qps"] / single, 2
         )
-    single = report["served"]["1"]["qps"]
-    report["served"]["scaling_vs_single_client"] = round(
-        report["served"][str(CLIENTS)]["qps"] / single, 3
+    taxes = ", ".join(
+        f"{name} {tax}x"
+        for name, tax in report["wire_tax_vs_embedded"].items()
     )
-    report["wire_tax_vs_embedded"] = round(
-        report["embedded"]["qps"] / single, 2
-    )
+    print(f"wire tax vs embedded: {taxes}")
 
     # Burn-in under concurrent clients ----------------------------------
     report["burn_in"] = _burn_in_curve(n_rows, CLIENTS, BURNIN_PER_CLIENT)

@@ -405,6 +405,24 @@ def run_serve(argv: list[str]) -> int:
         help="seconds before a statement gets a typed timeout reply",
     )
     parser.add_argument(
+        "--protocol", choices=("v1", "v2"), default="v2",
+        help="highest wire protocol version to offer (v1 = JSON rows "
+        "only, v2 adds binary columnar results); clients negotiate down",
+    )
+    parser.add_argument(
+        "--chunk-bytes", type=int, default=None, metavar="BYTES",
+        help="target size of streamed v2 result chunks (default 1 MiB)",
+    )
+    parser.add_argument(
+        "--no-compression", action="store_true",
+        help="never offer zlib frame compression to v2 clients",
+    )
+    parser.add_argument(
+        "--pipeline-batch", type=int, default=None, metavar="N",
+        help="max pipelined statements folded into one engine trip "
+        "(default 128; 1 disables server-side batching)",
+    )
+    parser.add_argument(
         "--init", default=None, metavar="SCRIPT",
         help="';'-separated SQL script to run before accepting clients",
     )
@@ -443,6 +461,11 @@ def run_serve(argv: list[str]) -> int:
         print(f"init script ran {executed} statement(s)")
 
     async def _serve() -> dict:
+        extras: dict = {}
+        if args.chunk_bytes is not None:
+            extras["chunk_bytes"] = args.chunk_bytes
+        if args.pipeline_batch is not None:
+            extras["pipeline_batch"] = args.pipeline_batch
         server = ReproServer(
             database,
             args.host,
@@ -452,10 +475,17 @@ def run_serve(argv: list[str]) -> int:
             pool_size=args.pool_size,
             max_pending=args.max_pending,
             statement_timeout=args.statement_timeout,
+            protocol=args.protocol,
+            compression=not args.no_compression,
+            **extras,
         )
         await server.start()
         host, port = server.address
-        print(f"repro server listening on {host}:{port}", flush=True)
+        print(
+            f"repro server listening on {host}:{port} "
+            f"(protocol up to {args.protocol})",
+            flush=True,
+        )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
 

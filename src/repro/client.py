@@ -14,6 +14,16 @@
 
 :class:`AsyncClient` speaks the same API with ``await``.
 
+Both negotiate the wire protocol in HELLO: binary columnar v2 by
+default (results arrive as raw numpy column buffers, chunk-streamed
+when large, optionally zlib-compressed; ``result.arrays`` then holds
+the decoded numpy columns), falling back to all-JSON v1 against an
+older server — or pinned with ``Client(protocol="v1")`` for
+differential testing.  ``execute_many`` pipelines a batch of
+statements: a window of requests goes out before any reply is read,
+amortising network round-trips and letting the server fold the run
+into one engine trip.
+
 Both reconnect: a dropped connection is re-established (with retries
 and backoff), the HELLO handshake is replayed and every live prepared
 statement is transparently re-prepared before the failed request is
@@ -39,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
+from collections import deque
 
 from repro.errors import (
     ProtocolError,
@@ -48,23 +59,38 @@ from repro.errors import (
 )
 from repro.server.protocol import (
     PROTOCOL_VERSION,
+    SUPPORTED_COMPRESSIONS,
     FrameDecoder,
+    ResultAssembler,
     encode_frame,
     read_frame,
+    versions_up_to,
     write_frame,
 )
 from repro.sql.session import QueryResult
 
 _RECV_BYTES = 1 << 16
 
+#: Requests written before the first reply is read in ``execute_many``
+#: — big enough to amortise round-trips, small enough that a window of
+#: requests can never wedge both peers' kernel buffers.
+DEFAULT_PIPELINE_WINDOW = 64
+
 
 def _result_from_reply(reply: dict) -> QueryResult:
     """Rehydrate a ``result`` reply into the embedded result type."""
-    return QueryResult(
+    result = QueryResult(
         columns=list(reply["columns"]),
         rows=[tuple(row) for row in reply["rows"]],
         affected=int(reply.get("affected", 0)),
     )
+    # v2 replies decoded numeric columns zero-copy; keep the arrays
+    # reachable for columnar consumers (plain attribute: QueryResult is
+    # an open dataclass, and v1 results simply don't have it).
+    arrays = reply.get("arrays")
+    if arrays is not None:
+        result.arrays = arrays
+    return result
 
 
 def _check_reply(reply: dict, expected: str) -> dict:
@@ -114,6 +140,8 @@ class _ClientCore:
         reconnect: bool = True,
         max_retries: int = 3,
         retry_delay: float = 0.05,
+        protocol: str | int | None = None,
+        compression: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -122,16 +150,33 @@ class _ClientCore:
         self.reconnect = reconnect
         self.max_retries = max_retries
         self.retry_delay = retry_delay
+        self.offer_versions = versions_up_to(protocol)
+        self.offer_compression = compression
+        #: Negotiated per connection (HELLO reply); v1 until connected.
+        self.protocol_version = PROTOCOL_VERSION
+        self.compression: str | None = None
         self.server_info: dict = {}
         self.in_transaction = False
         self._prepared: list[Prepared] = []
 
     def _hello_message(self) -> dict:
+        # The scalar "protocol" field is what a v1-only server checks
+        # (strict equality, historically): keep it at v1 so the version
+        # *list* is the only thing a modern server needs to look at.
         return {
             "type": "hello",
             "protocol": PROTOCOL_VERSION,
+            "versions": list(self.offer_versions),
+            "compression": (
+                list(SUPPORTED_COMPRESSIONS) if self.offer_compression else []
+            ),
             "client": self.client_name,
         }
+
+    def _absorb_hello(self, reply: dict) -> None:
+        self.server_info = reply
+        self.protocol_version = int(reply.get("protocol", PROTOCOL_VERSION))
+        self.compression = reply.get("compression")
 
     def _live_prepared(self) -> list[Prepared]:
         self._prepared = [p for p in self._prepared if not p.closed]
@@ -152,6 +197,7 @@ class Client(_ClientCore):
         super().__init__(host, port, **kwargs)
         self._sock: socket.socket | None = None
         self._decoder = FrameDecoder()
+        self._inbox: deque = deque()  # decoded but not yet consumed
         self.connect()
 
     # -------------------------------------------------------------- #
@@ -178,8 +224,9 @@ class Client(_ClientCore):
                 f"cannot connect to {self.host}:{self.port}: {last}"
             )
         self._decoder = FrameDecoder()
+        self._inbox.clear()  # stale frames died with the old connection
         reply = self._roundtrip(self._hello_message())
-        self.server_info = _check_reply(reply, "hello")
+        self._absorb_hello(_check_reply(reply, "hello"))
         for prepared in self._live_prepared():
             fresh = _check_reply(
                 self._roundtrip({"type": "prepare", "sql": prepared.sql}),
@@ -195,28 +242,33 @@ class Client(_ClientCore):
                 pass
             self._sock = None
 
+    def _read_message(self) -> dict:
+        """The next decoded message (inbox first, then the socket)."""
+        while not self._inbox:
+            data = self._sock.recv(_RECV_BYTES)
+            if not data:
+                raise ServerUnavailableError("server closed the connection")
+            self._inbox.extend(self._decoder.feed(data))
+        return self._inbox.popleft()
+
+    def _read_reply(self) -> dict:
+        """The next *logical* reply: v2 chunk streams are reassembled."""
+        assembler = ResultAssembler()
+        while True:
+            reply = assembler.feed(self._read_message())
+            if reply is not None:
+                return reply
+
     def _roundtrip(self, message: dict) -> dict:
         """One request/reply exchange on the current socket (no retry)."""
         if self._sock is None:
             raise ServerUnavailableError("client is not connected")
         try:
             self._sock.sendall(encode_frame(message))
-            while True:
-                data = self._sock.recv(_RECV_BYTES)
-                if not data:
-                    raise ServerUnavailableError("server closed the connection")
-                messages = self._decoder.feed(data)
-                if messages:
-                    # A graceful shutdown can coalesce the reply and the
-                    # server's goodbye into one recv; drop the trailing
-                    # goodbye (the next exchange hits EOF and reconnects).
-                    if len(messages) == 2 and messages[1].get("type") == "goodbye":
-                        messages.pop()
-                    if len(messages) > 1:
-                        raise ProtocolError(
-                            "server sent multiple replies to one request"
-                        )
-                    return self._filter_goodbye(message, messages[0])
+            # A graceful shutdown can coalesce the reply and the server's
+            # goodbye into one recv; the trailing goodbye waits in the
+            # inbox and surfaces on the next exchange, which reconnects.
+            return self._filter_goodbye(message, self._read_reply())
         except OSError as exc:
             raise ServerUnavailableError(f"connection lost: {exc}") from exc
 
@@ -269,6 +321,67 @@ class Client(_ClientCore):
         if reply.get("type") == "queued":
             return reply
         return _result_from_reply(_check_reply(reply, "result"))
+
+    def execute_many(
+        self,
+        statements,
+        mode: str | None = None,
+        window: int = DEFAULT_PIPELINE_WINDOW,
+        raise_on_error: bool = True,
+    ) -> list:
+        """Pipelined execution: returns one result per statement, in order.
+
+        Requests go out ``window`` at a time before any reply is read,
+        so N statements cost ~N/window network round-trips instead of
+        N, and the server may fold each run into a single engine trip.
+        Every reply of a window is always drained (the stream stays in
+        sync even when a statement fails); with ``raise_on_error`` the
+        first failure then raises :class:`RemoteError`, otherwise the
+        error reply dict takes that statement's slot.  Transport
+        failures are NOT retried — a mid-batch reconnect could silently
+        re-apply a prefix of mutations — so callers get
+        :class:`ServerUnavailableError` and decide themselves.
+        """
+        if self._sock is None:
+            raise ServerUnavailableError("client is not connected")
+        statements = list(statements)
+        window = max(1, window)
+        out: list = []
+        first_error: RemoteError | None = None
+        try:
+            for start in range(0, len(statements), window):
+                batch = statements[start:start + window]
+                frames = b"".join(
+                    encode_frame(
+                        {"type": "query", "sql": sql, "mode": mode or self.mode}
+                    )
+                    for sql in batch
+                )
+                self._sock.sendall(frames)
+                for sql in batch:
+                    reply = self._filter_goodbye({"type": "query"}, self._read_reply())
+                    if reply.get("type") == "error":
+                        if first_error is None:
+                            first_error = RemoteError(
+                                reply.get("code", "internal"),
+                                reply.get("message", ""),
+                            )
+                        out.append(reply)
+                    elif reply.get("type") in ("result", "queued"):
+                        out.append(
+                            reply
+                            if reply["type"] == "queued"
+                            else _result_from_reply(reply)
+                        )
+                    else:
+                        raise ProtocolError(
+                            f"unexpected pipelined reply {reply.get('type')!r}"
+                        )
+                if first_error is not None and raise_on_error:
+                    raise first_error
+        except OSError as exc:
+            raise ServerUnavailableError(f"connection lost: {exc}") from exc
+        return out
 
     def prepare(self, sql: str) -> Prepared:
         reply = _check_reply(
@@ -392,8 +505,8 @@ class AsyncClient(_ClientCore):
             raise ServerUnavailableError(
                 f"cannot connect to {self.host}:{self.port}: {last}"
             )
-        self.server_info = _check_reply(
-            await self._roundtrip(self._hello_message()), "hello"
+        self._absorb_hello(
+            _check_reply(await self._roundtrip(self._hello_message()), "hello")
         )
         for prepared in self._live_prepared():
             fresh = _check_reply(
@@ -411,16 +524,25 @@ class AsyncClient(_ClientCore):
                 pass
             self._reader = self._writer = None
 
+    async def _read_reply(self) -> dict:
+        """The next logical reply: v2 chunk streams are reassembled."""
+        assembler = ResultAssembler()
+        while True:
+            message = await read_frame(self._reader)
+            if message is None:
+                raise ServerUnavailableError("server closed the connection")
+            reply = assembler.feed(message)
+            if reply is not None:
+                return reply
+
     async def _roundtrip(self, message: dict) -> dict:
         if self._writer is None:
             raise ServerUnavailableError("client is not connected")
         try:
             await write_frame(self._writer, message)
-            reply = await read_frame(self._reader)
+            reply = await self._read_reply()
         except OSError as exc:
             raise ServerUnavailableError(f"connection lost: {exc}") from exc
-        if reply is None:
-            raise ServerUnavailableError("server closed the connection")
         return Client._filter_goodbye(message, reply)
 
     async def _request(self, message: dict, prepared=None) -> dict:
@@ -447,6 +569,61 @@ class AsyncClient(_ClientCore):
         if reply.get("type") == "queued":
             return reply
         return _result_from_reply(_check_reply(reply, "result"))
+
+    async def execute_many(
+        self,
+        statements,
+        mode: str | None = None,
+        window: int = DEFAULT_PIPELINE_WINDOW,
+        raise_on_error: bool = True,
+    ) -> list:
+        """Pipelined execution (see :meth:`Client.execute_many`)."""
+        if self._writer is None:
+            raise ServerUnavailableError("client is not connected")
+        statements = list(statements)
+        window = max(1, window)
+        out: list = []
+        first_error: RemoteError | None = None
+        try:
+            for start in range(0, len(statements), window):
+                batch = statements[start:start + window]
+                for sql in batch:
+                    self._writer.write(
+                        encode_frame(
+                            {
+                                "type": "query",
+                                "sql": sql,
+                                "mode": mode or self.mode,
+                            }
+                        )
+                    )
+                await self._writer.drain()
+                for sql in batch:
+                    reply = Client._filter_goodbye(
+                        {"type": "query"}, await self._read_reply()
+                    )
+                    if reply.get("type") == "error":
+                        if first_error is None:
+                            first_error = RemoteError(
+                                reply.get("code", "internal"),
+                                reply.get("message", ""),
+                            )
+                        out.append(reply)
+                    elif reply.get("type") in ("result", "queued"):
+                        out.append(
+                            reply
+                            if reply["type"] == "queued"
+                            else _result_from_reply(reply)
+                        )
+                    else:
+                        raise ProtocolError(
+                            f"unexpected pipelined reply {reply.get('type')!r}"
+                        )
+                if first_error is not None and raise_on_error:
+                    raise first_error
+        except OSError as exc:
+            raise ServerUnavailableError(f"connection lost: {exc}") from exc
+        return out
 
     async def prepare(self, sql: str) -> "AsyncPrepared":
         reply = _check_reply(

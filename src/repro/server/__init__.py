@@ -18,13 +18,19 @@ The matching client library is :mod:`repro.client`.
 from repro.server.gateway import ExecutionGateway
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
+    PROTOCOL_V2,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     FrameDecoder,
+    ResultAssembler,
     encode_frame,
+    encode_result_frames,
     error_for_exception,
     error_reply,
+    negotiate_version,
     read_frame,
     result_reply,
+    versions_up_to,
     wire_row,
     wire_rows,
     wire_value,
@@ -38,14 +44,20 @@ __all__ = [
     "ExecutionGateway",
     "FrameDecoder",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_V2",
     "PROTOCOL_VERSION",
     "ReproServer",
+    "ResultAssembler",
+    "SUPPORTED_VERSIONS",
     "ServerThread",
     "encode_frame",
+    "encode_result_frames",
     "error_for_exception",
     "error_reply",
+    "negotiate_version",
     "read_frame",
     "result_reply",
+    "versions_up_to",
     "wire_row",
     "wire_rows",
     "wire_value",

@@ -86,6 +86,12 @@ class ExecutionGateway:
         # consumes the zombie's exception so it is never logged as
         # unretrieved.
         future.add_done_callback(self._release)
+        if limit is None:
+            # No timeout: await directly — wait_for + shield cost real
+            # microseconds per statement, which pipelined workloads feel.
+            result = await future
+            self.executed += 1
+            return result
         try:
             result = await asyncio.wait_for(
                 asyncio.shield(future), timeout=limit

@@ -1,9 +1,12 @@
-"""The wire protocol: length-prefixed JSON frames and typed messages.
+"""The wire protocol: length-prefixed frames and typed messages.
 
 Framing
     Every message — request or reply — is one *frame*: a 4-byte
-    big-endian unsigned length followed by that many bytes of UTF-8
-    JSON encoding a single object.  Frames larger than
+    big-endian unsigned length followed by that many bytes of payload.
+    A payload starting with ``{`` is UTF-8 JSON encoding one object
+    (all of protocol v1, and every v2 message except results); a
+    payload starting with the :data:`_BINARY_MARKER` byte is a binary
+    columnar result frame (v2 only, below).  Frames larger than
     :data:`MAX_FRAME_BYTES` are rejected on both sides, bounding the
     memory one peer can force onto the other.
 
@@ -14,6 +17,29 @@ Messages
     ``hello`` ``result`` ``prepared`` ``closed`` ``queued`` ``begun``
     ``committed`` ``aborted`` ``stats`` ``goodbye`` and the typed
     ``error`` reply (``code`` + ``message``; see :data:`ERROR_CODES`).
+
+Version negotiation
+    HELLO advertises a version *list* (``"versions": [1, 2]``, plus the
+    legacy scalar ``"protocol"`` field a v1-only peer sends) and the
+    server selects the highest version both sides speak
+    (:func:`negotiate_version`).  v1 is the original all-JSON protocol
+    and stays fully supported — it is the differential oracle v2 is
+    tested against.
+
+Protocol v2: binary columnar results
+    Under v2 a query result ships as numpy column buffers instead of
+    per-row JSON.  Each binary frame is ``marker, kind, flags, pad`` +
+    a 4-byte header length + a small JSON header (column names, per
+    column encoding/dtype/byte-size, row count, varchar dictionaries)
+    + the concatenated raw column bodies (``ndarray.tobytes()``,
+    decoded zero-copy with ``np.frombuffer`` on the far side).  A
+    result that fits one frame is a single ``FULL`` frame; larger
+    results *stream* as bounded ``CHUNK`` frames closed by an ``END``
+    trailer carrying the totals, so arbitrarily large SELECTs cross
+    the wire without a giant allocation on either peer
+    (:func:`encode_result_frames` / :class:`ResultAssembler`).  Bodies
+    past :data:`COMPRESS_MIN_BYTES` are zlib-compressed per frame when
+    HELLO negotiated it (wide varchar columns shrink drastically).
 
 Wire safety
     Query results carry numpy scalars (``np.int64`` / ``np.float64`` /
@@ -27,6 +53,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 import numpy as np
 
@@ -44,13 +71,51 @@ from repro.errors import (
     TransactionError,
 )
 
-#: Bumped on incompatible wire changes; HELLO negotiates equality.
+#: The original all-JSON protocol; kept as the differential oracle.
 PROTOCOL_VERSION = 1
+
+#: Binary columnar results, chunked streaming, negotiated compression.
+PROTOCOL_V2 = 2
+
+#: Every version this build speaks, ascending.  HELLO advertises a
+#: version list and :func:`negotiate_version` picks the highest common.
+SUPPORTED_VERSIONS = (PROTOCOL_VERSION, PROTOCOL_V2)
+
+#: Compression codecs this build can apply to v2 result-frame bodies.
+SUPPORTED_COMPRESSIONS = ("zlib",)
 
 #: Upper bound on one frame (requests and replies alike).
 MAX_FRAME_BYTES = 32 * 1024 * 1024
 
+#: Target payload size for one v2 result chunk (bounds peak memory per
+#: frame on both peers; well under MAX_FRAME_BYTES).
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+#: v2 frame bodies below this stay raw even when compression was
+#: negotiated — zlib on tiny payloads costs more than it saves.
+COMPRESS_MIN_BYTES = 4096
+
+#: Results at or below this many rows go over the wire as plain JSON
+#: even on a v2 connection: numpy columnarisation only amortises on
+#: bulk results, and for a one-row count(*) the binary codec costs
+#: more on both peers than it saves.  The client's payload dispatch is
+#: byte-driven, so mixing shapes per reply is free.
+SMALL_RESULT_ROWS = 16
+
 _LENGTH = struct.Struct("!I")
+
+#: First payload byte of a binary frame.  JSON payloads always start
+#: with ``{`` (0x7b), so one byte disambiguates the two shapes.
+_BINARY_MARKER = 0x00
+
+_KIND_FULL = 1   # a complete result in one frame
+_KIND_CHUNK = 2  # one column-batch of a streamed result
+_KIND_END = 3    # trailer closing a chunk stream (totals, no body)
+
+_FLAG_COMPRESSED = 0x01
+
+#: marker, kind, flags, pad, header-length — prefix of a binary payload.
+_BIN_HEAD = struct.Struct("!BBBxI")
 
 #: The typed error vocabulary.  Servers only ever send these codes, so
 #: clients can switch on them without string-matching messages.
@@ -115,6 +180,63 @@ def wire_rows(rows) -> list[list]:
 
 
 # ---------------------------------------------------------------------- #
+# HELLO negotiation
+# ---------------------------------------------------------------------- #
+
+
+def versions_up_to(protocol: str | int | None) -> tuple[int, ...]:
+    """The version offer for a ``protocol=`` cap (``"v1"``/``"v2"``/int).
+
+    ``None`` offers everything this build speaks; a cap trims the offer
+    from the top (``"v1"`` → offer only v1), which is how either peer
+    forces the negotiation down for differential testing.
+    """
+    if protocol is None:
+        return SUPPORTED_VERSIONS
+    if isinstance(protocol, str):
+        protocol = {"v1": 1, "v2": 2}.get(protocol.lower(), protocol)
+    if protocol not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            f"unknown protocol cap {protocol!r}; use 'v1' or 'v2'"
+        )
+    return tuple(v for v in SUPPORTED_VERSIONS if v <= protocol)
+
+
+def hello_versions(message: dict) -> list[int]:
+    """The protocol versions a HELLO message advertises.
+
+    New peers send ``"versions": [1, 2, ...]``; a v1-only peer sends
+    only the legacy scalar ``"protocol"`` field, which is honoured as a
+    one-element list so old clients keep talking to new servers.
+    """
+    versions = message.get("versions")
+    if versions is None:
+        versions = [message.get("protocol")]
+    if not isinstance(versions, (list, tuple)):
+        raise ProtocolError("'versions' must be an array when present")
+    return [v for v in versions if isinstance(v, int)]
+
+
+def negotiate_version(message: dict, supported=SUPPORTED_VERSIONS) -> int | None:
+    """Highest version in both the HELLO and ``supported`` (None if none)."""
+    common = set(hello_versions(message)) & set(supported)
+    return max(common) if common else None
+
+
+def negotiate_compression(
+    message: dict, supported=SUPPORTED_COMPRESSIONS
+) -> str | None:
+    """First mutually supported codec from HELLO's ``"compression"`` list."""
+    offered = message.get("compression")
+    if not isinstance(offered, (list, tuple)):
+        return None
+    for codec in offered:
+        if codec in supported:
+            return codec
+    return None
+
+
+# ---------------------------------------------------------------------- #
 # Reply constructors
 # ---------------------------------------------------------------------- #
 
@@ -145,6 +267,289 @@ def error_for_exception(exc: BaseException) -> dict:
 
 
 # ---------------------------------------------------------------------- #
+# Binary columnar results (protocol v2)
+# ---------------------------------------------------------------------- #
+
+
+def _encode_column(values) -> tuple[dict, bytes]:
+    """One result column as ``(descriptor, raw bytes)``.
+
+    Three encodings, chosen by content:
+
+    * ``ndarray`` — numeric/bool columns ship as raw ``tobytes()`` with
+      their dtype string; the receiver maps them back zero-copy.
+    * ``dict`` — varchar columns (str and NULL) ship their unique
+      values once in the header plus int32 codes in the body (NULL is
+      code -1): the classic dictionary encoding, and what makes wide
+      repetitive varchar columns cheap on the wire.
+    * ``json`` — anything else (mixed-type columns, e.g. numerics with
+      NULLs) falls back to a wire-safe JSON array body.
+    """
+    try:
+        arr = np.asarray(values)
+    except (ValueError, OverflowError):  # ragged/oversized: JSON fallback
+        arr = np.empty(0, dtype=object)
+    if arr.dtype.kind in "biuf":
+        return {"enc": "ndarray", "dtype": arr.dtype.str, "size": arr.nbytes}, (
+            arr.tobytes()
+        )
+    if all(value is None or isinstance(value, str) for value in values):
+        uniques: dict[str, int] = {}
+        codes = np.empty(len(values), dtype=np.int32)
+        for i, value in enumerate(values):
+            if value is None:
+                codes[i] = -1
+            else:
+                value = str(value)  # np.str_ -> str for the JSON header
+                codes[i] = uniques.setdefault(value, len(uniques))
+        descriptor = {
+            "enc": "dict",
+            "values": list(uniques),
+            "size": codes.nbytes,
+        }
+        return descriptor, codes.tobytes()
+    payload = json.dumps([wire_value(v) for v in values]).encode("utf-8")
+    return {"enc": "json", "size": len(payload)}, payload
+
+
+def _decode_column(descriptor: dict, body, offset: int):
+    """Inverse of :func:`_encode_column`: ``(numpy array | None, values)``."""
+    size = descriptor["size"]
+    chunk = body[offset:offset + size]
+    enc = descriptor["enc"]
+    if enc == "ndarray":
+        arr = np.frombuffer(chunk, dtype=descriptor["dtype"])
+        return arr, arr.tolist()
+    if enc == "dict":
+        codes = np.frombuffer(chunk, dtype=np.int32)
+        lookup = descriptor["values"]
+        return None, [lookup[c] if c >= 0 else None for c in codes.tolist()]
+    if enc == "json":
+        return None, json.loads(bytes(chunk).decode("utf-8"))
+    raise ProtocolError(f"unknown column encoding {enc!r}")
+
+
+def _pack_binary(kind: int, header: dict, body: bytes, compression) -> bytes:
+    """One complete binary frame (length prefix included)."""
+    flags = 0
+    if compression == "zlib" and len(body) >= COMPRESS_MIN_BYTES:
+        squeezed = zlib.compress(body, 1)
+        if len(squeezed) < len(body):  # incompressible bodies stay raw
+            body, flags = squeezed, _FLAG_COMPRESSED
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    length = _BIN_HEAD.size + len(header_bytes) + len(body)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"binary frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit; lower the chunk size"
+        )
+    return (
+        _LENGTH.pack(length)
+        + _BIN_HEAD.pack(_BINARY_MARKER, kind, flags, len(header_bytes))
+        + header_bytes
+        + body
+    )
+
+
+def _result_frame(kind: int, columns, rows, extra: dict, compression) -> bytes:
+    """Encode ``rows`` (FULL or CHUNK) into one binary frame."""
+    descriptors = []
+    parts = []
+    for index, name in enumerate(columns):
+        descriptor, payload = _encode_column([row[index] for row in rows])
+        descriptors.append(descriptor)
+        parts.append(payload)
+    header = {"columns": list(columns), "cols": descriptors, "rows": len(rows)}
+    header.update(extra)
+    return _pack_binary(kind, header, b"".join(parts), compression)
+
+
+def _estimate_chunk_rows(columns, rows, chunk_bytes: int) -> int:
+    """Rows per chunk so one frame's body lands near ``chunk_bytes``."""
+    if not rows or not columns:
+        return max(1, len(rows))
+    sample = rows[0]
+    per_row = 0
+    for value in sample:
+        per_row += len(value) + 8 if isinstance(value, str) else 8
+    return max(1, chunk_bytes // max(per_row, 1))
+
+
+def encode_result_frames(
+    result,
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    chunk_rows: int | None = None,
+    compression: str | None = None,
+):
+    """Yield the binary frame(s) carrying one query result under v2.
+
+    A result whose rows fit one chunk becomes a single ``FULL`` frame;
+    anything larger streams as ``CHUNK`` frames closed by an ``END``
+    trailer with the totals — no frame ever materialises the whole
+    result, which is how SELECTs far past :data:`MAX_FRAME_BYTES`
+    cross the wire.
+    """
+    columns = list(result.columns)
+    rows = result.rows
+    affected = int(result.affected)
+    if chunk_rows is None:
+        chunk_rows = _estimate_chunk_rows(columns, rows, chunk_bytes)
+    if len(rows) <= chunk_rows:
+        yield _result_frame(
+            _KIND_FULL, columns, rows, {"affected": affected}, compression
+        )
+        return
+    chunks = 0
+    for start in range(0, len(rows), chunk_rows):
+        chunks += 1
+        yield _result_frame(
+            _KIND_CHUNK,
+            columns,
+            rows[start:start + chunk_rows],
+            {"seq": chunks},
+            compression,
+        )
+    yield _pack_binary(
+        _KIND_END,
+        {
+            "columns": columns,
+            "affected": affected,
+            "rows": len(rows),
+            "chunks": chunks,
+        },
+        b"",
+        None,
+    )
+
+
+def _decode_binary(payload: bytes) -> dict:
+    """A binary frame payload as a message dict (see module docstring)."""
+    if len(payload) < _BIN_HEAD.size:
+        raise ProtocolError("binary frame payload is truncated")
+    _, kind, flags, header_len = _BIN_HEAD.unpack_from(payload)
+    header_end = _BIN_HEAD.size + header_len
+    try:
+        header = json.loads(payload[_BIN_HEAD.size:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable binary frame header: {exc}") from None
+    body = memoryview(payload)[header_end:]  # np.frombuffer sees it zero-copy
+    if flags & _FLAG_COMPRESSED:
+        try:
+            body = memoryview(zlib.decompress(body))
+        except zlib.error as exc:
+            raise ProtocolError(f"corrupt compressed frame body: {exc}") from None
+    if kind == _KIND_END:
+        return {
+            "type": "result_end",
+            "columns": header["columns"],
+            "affected": header["affected"],
+            "rows": header["rows"],
+            "chunks": header["chunks"],
+        }
+    if kind not in (_KIND_FULL, _KIND_CHUNK):
+        raise ProtocolError(f"unknown binary frame kind {kind}")
+    arrays = {}
+    value_lists = []
+    offset = 0
+    for name, descriptor in zip(header["columns"], header["cols"]):
+        arr, values = _decode_column(descriptor, body, offset)
+        offset += descriptor["size"]
+        if arr is not None:
+            arrays[name] = arr
+        value_lists.append(values)
+    n_rows = header["rows"]
+    if any(len(values) != n_rows for values in value_lists):
+        raise ProtocolError("binary frame column lengths disagree")
+    rows = list(zip(*value_lists)) if value_lists else []
+    message = {
+        "type": "result" if kind == _KIND_FULL else "result_chunk",
+        "columns": header["columns"],
+        "rows": rows,
+        "arrays": arrays,
+    }
+    if kind == _KIND_FULL:
+        message["affected"] = header["affected"]
+    else:
+        message["seq"] = header.get("seq")
+    return message
+
+
+class ResultAssembler:
+    """Client-side reassembly of a chunked v2 result stream.
+
+    Feed it decoded messages; non-result messages pass straight
+    through, a ``FULL`` result passes through, and a chunk stream is
+    buffered until its ``END`` trailer arrives, at which point one
+    logical ``result`` message (rows concatenated, numeric column
+    arrays re-joined) is returned.  A trailer whose totals disagree
+    with what actually arrived — a torn stream — raises
+    :class:`ProtocolError`; a typed ``error`` arriving mid-stream
+    discards the partial result and passes the error through.
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[dict] = []
+
+    @property
+    def mid_stream(self) -> bool:
+        return bool(self._chunks)
+
+    def feed(self, message: dict) -> dict | None:
+        """One decoded message in; a complete logical message or None out."""
+        kind = message.get("type")
+        if kind == "result_chunk":
+            expected = len(self._chunks) + 1
+            if message.get("seq") != expected:
+                raise ProtocolError(
+                    f"torn result stream: expected chunk {expected}, "
+                    f"got {message.get('seq')!r}"
+                )
+            self._chunks.append(message)
+            return None
+        if kind == "result_end":
+            chunks, self._chunks = self._chunks, []
+            if len(chunks) != message["chunks"]:
+                raise ProtocolError(
+                    f"torn result stream: trailer announces "
+                    f"{message['chunks']} chunks, received {len(chunks)}"
+                )
+            rows: list = []
+            for chunk in chunks:
+                rows.extend(chunk["rows"])
+            if len(rows) != message["rows"]:
+                raise ProtocolError(
+                    f"torn result stream: trailer announces {message['rows']} "
+                    f"rows, received {len(rows)}"
+                )
+            arrays = {}
+            if chunks:
+                for name in chunks[0]["arrays"]:
+                    if all(name in chunk["arrays"] for chunk in chunks):
+                        arrays[name] = np.concatenate(
+                            [chunk["arrays"][name] for chunk in chunks]
+                        )
+            return {
+                "type": "result",
+                "columns": message["columns"],
+                "rows": rows,
+                "affected": message["affected"],
+                "arrays": arrays,
+            }
+        if self._chunks:
+            if kind == "error":
+                self._chunks = []  # the error supersedes the partial result
+                return message
+            if kind == "goodbye":
+                self._chunks = []  # shutdown mid-stream: surface the goodbye
+                return message
+            raise ProtocolError(
+                f"{kind!r} message interleaved into a result chunk stream"
+            )
+        return message
+
+
+# ---------------------------------------------------------------------- #
 # Framing
 # ---------------------------------------------------------------------- #
 
@@ -161,7 +566,13 @@ def encode_frame(message: dict) -> bytes:
 
 
 def decode_payload(payload: bytes) -> dict:
-    """Parse one frame's payload; protocol errors for non-objects."""
+    """Parse one frame's payload (JSON or binary) into a message dict.
+
+    Binary result frames (first byte :data:`_BINARY_MARKER`) decode via
+    the columnar codec; everything else must be a JSON object.
+    """
+    if payload and payload[0] == _BINARY_MARKER:
+        return _decode_binary(payload)
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -28,10 +28,19 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from collections import deque
 
 from repro.errors import ProtocolError
 from repro.server.gateway import ExecutionGateway
-from repro.server.protocol import error_reply, read_frame, write_frame
+from repro.server.protocol import (
+    DEFAULT_CHUNK_BYTES,
+    encode_frame,
+    encode_result_frames,
+    error_reply,
+    read_frame,
+    versions_up_to,
+    write_frame,
+)
 from repro.server.session import ClientSession
 
 _EOF = object()       # client went away: stop silently
@@ -66,6 +75,17 @@ class ReproServer:
             database during :meth:`stop` (reopen restarts warm with an
             empty WAL tail).
         drain_timeout: seconds to wait for workers to drain on stop.
+        protocol: highest wire protocol version offered in HELLO —
+            ``"v2"`` (default, binary columnar results) or ``"v1"``
+            (all-JSON; forces every client down to the oracle
+            protocol).  Ints 1/2 are accepted too.
+        chunk_bytes: target payload size per v2 result-chunk frame;
+            results past it stream as bounded chunks instead of one
+            giant frame.
+        compression: honour a client's offer to zlib-compress large v2
+            result-frame bodies.
+        pipeline_batch: maximum pipelined statements folded into one
+            engine trip per connection (1 disables batching).
     """
 
     def __init__(
@@ -81,6 +101,10 @@ class ReproServer:
         statement_timeout: float | None = None,
         checkpoint_on_shutdown: bool = True,
         drain_timeout: float = 10.0,
+        protocol: str | int = "v2",
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        compression: bool = True,
+        pipeline_batch: int = 128,
     ) -> None:
         self.database = database
         self.host = host
@@ -89,6 +113,10 @@ class ReproServer:
         self.queue_depth = queue_depth
         self.checkpoint_on_shutdown = checkpoint_on_shutdown
         self.drain_timeout = drain_timeout
+        self.offer_versions = versions_up_to(protocol)
+        self.chunk_bytes = chunk_bytes
+        self.compression = compression
+        self.pipeline_batch = max(1, pipeline_batch)
         self.gateway = ExecutionGateway(
             pool_size=pool_size,
             max_pending=max_pending,
@@ -200,7 +228,12 @@ class ReproServer:
         session_id = self._next_session
         self._next_session += 1
         session = ClientSession(
-            self.database, self.gateway, session_id, server_stats=self.stats
+            self.database,
+            self.gateway,
+            session_id,
+            server_stats=self.stats,
+            offer_versions=self.offer_versions,
+            compression=self.compression,
         )
         conn = _Connection(session, reader, writer, self.queue_depth)
         self._connections[session_id] = conn
@@ -236,13 +269,38 @@ class ReproServer:
                 return
             await conn.queue.put(("message", message))
 
+    async def _write_reply(self, conn: _Connection, reply: dict) -> None:
+        """Write one reply without draining (the caller batches drains).
+
+        A v2 result reply carries the raw :class:`QueryResult` under
+        ``"_result"``: it is encoded here into binary columnar frames —
+        chunked past ``chunk_bytes``, with a drain after every chunk so
+        a huge SELECT streams under TCP backpressure instead of
+        ballooning in the writer's buffer.
+        """
+        result = reply.pop("_result", None) if isinstance(reply, dict) else None
+        if result is None:
+            conn.writer.write(encode_frame(reply))
+            return
+        for frame in encode_result_frames(
+            result,
+            chunk_bytes=self.chunk_bytes,
+            compression=conn.session.compression,
+        ):
+            conn.writer.write(frame)
+            await conn.writer.drain()
+
     async def _work_loop(self, conn: _Connection) -> None:
         from repro.server.protocol import error_for_exception
 
         writer = conn.writer
+        session = conn.session
+        pending: deque = deque()  # items prefetched past a batch boundary
         try:
             while True:
-                if self._draining and conn.queue.empty():
+                if pending:
+                    item = pending.popleft()
+                elif self._draining and conn.queue.empty():
                     # The drain sentinel can fail to land when the queue
                     # was full at stop() time; once the backlog is served
                     # the drained flag is authoritative.
@@ -263,15 +321,43 @@ class ReproServer:
                 if kind == "fatal":
                     await write_frame(writer, error_for_exception(payload))
                     break
-                reply = await conn.session.handle(payload)
-                try:
-                    await write_frame(writer, reply)
-                except ProtocolError as exc:
-                    # The reply itself overflowed the frame cap (huge
-                    # result set): the error frame is small, so the
-                    # client gets a typed reply and the connection lives.
-                    await write_frame(writer, error_for_exception(exc))
-                if conn.session.closing:
+                # Pipelining: fold the run of plain statements already
+                # sitting in the queue into one engine trip.  Anything
+                # non-batchable (txn control, stats, hello, sentinels)
+                # ends the run and is carried to the next iteration, so
+                # reply order always matches request order.
+                batch = None
+                if self.pipeline_batch > 1 and session.batchable(payload):
+                    batch = [payload]
+                    while len(batch) < self.pipeline_batch:
+                        try:
+                            follower = conn.queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break
+                        if (
+                            isinstance(follower, tuple)
+                            and follower[0] == "message"
+                            and session.batchable(follower[1])
+                        ):
+                            batch.append(follower[1])
+                        else:
+                            pending.append(follower)
+                            break
+                if batch is not None and len(batch) > 1:
+                    replies = await session.handle_many(batch)
+                else:
+                    replies = [await session.handle(payload)]
+                for reply in replies:
+                    try:
+                        await self._write_reply(conn, reply)
+                    except ProtocolError as exc:
+                        # The reply overflowed the frame cap (huge v1
+                        # result set): the error frame is small, so the
+                        # client gets a typed reply per statement and
+                        # the connection lives.
+                        writer.write(encode_frame(error_for_exception(exc)))
+                await writer.drain()
+                if session.closing:
                     break
         except (ConnectionError, OSError):
             pass  # client vanished mid-reply

@@ -34,8 +34,14 @@ from repro.errors import (
 )
 from repro.server.protocol import (
     PROTOCOL_VERSION,
+    PROTOCOL_V2,
+    SMALL_RESULT_ROWS,
+    SUPPORTED_VERSIONS,
     error_for_exception,
     error_reply,
+    hello_versions,
+    negotiate_compression,
+    negotiate_version,
     result_reply,
 )
 from repro.sql.ast_nodes import SelectStmt
@@ -62,16 +68,24 @@ class ClientSession:
         session_id: int,
         server_stats=None,
         default_mode: str | None = None,
+        offer_versions=SUPPORTED_VERSIONS,
+        compression: bool = True,
     ) -> None:
         self.database = database
         self.gateway = gateway
         self.session_id = session_id
         self.server_stats = server_stats
         self.default_mode = default_mode
+        self.offer_versions = tuple(offer_versions)
+        self.compression_enabled = compression
         self.client_name = "?"
         self.greeted = False
         self.closing = False
         self.statements = 0
+        #: Negotiated in HELLO; v1 until (and unless) the client asks
+        #: for more, so pre-handshake errors are always plain JSON.
+        self.protocol_version = PROTOCOL_VERSION
+        self.compression: str | None = None
         self._prepared: dict[str, object] = {}
         self._next_handle = 1
         self._txn: list[str] | None = None
@@ -104,6 +118,81 @@ class ClientSession:
         except Exception as exc:  # bug shield: reply, don't disconnect
             return error_for_exception(exc)
 
+    def batchable(self, message) -> bool:
+        """True when a pipelined run may fold this message into one
+        gateway trip: plain statements, outside any transaction (a
+        transaction needs per-statement classification and buffering,
+        so it falls back to the one-at-a-time path)."""
+        return (
+            self.greeted
+            and self._txn is None
+            and isinstance(message, dict)
+            and message.get("type") in ("query", "execute")
+        )
+
+    async def handle_many(self, messages: list) -> list[dict]:
+        """Process a run of batchable messages with ONE gateway trip.
+
+        Pipelined clients enqueue many small statements back to back;
+        dispatching each one individually pays the event-loop →
+        worker-thread handoff per statement, which dominates once the
+        engine itself answers in microseconds.  This path validates
+        every message up front, executes the whole run sequentially on
+        a single worker thread, and maps each outcome back to its own
+        typed reply — one handoff amortised over the run.  Per-statement
+        engine failures stay per-statement; a gateway-level refusal
+        (overload, timeout) is reported on every statement of the run,
+        because the run is admitted and timed as one unit.
+        """
+        thunks: list = []
+        replies: list = [None] * len(messages)
+        for index, message in enumerate(messages):
+            self.statements += 1
+            try:
+                if message.get("type") == "query":
+                    sql = self._sql_of(message)
+                    mode = self._mode_of(message)
+                    thunks.append(
+                        (index, self.database.execute, (sql,), {"mode": mode})
+                    )
+                else:
+                    _, prepared = self._prepared_of(message)
+                    params = message.get("params")
+                    if params is not None:
+                        if not isinstance(params, list):
+                            raise ProtocolError(
+                                "'params' must be an array when present"
+                            )
+                        params = tuple(params)
+                    mode = self._mode_of(message)
+                    thunks.append(
+                        (index, prepared.execute, (params,), {"mode": mode})
+                    )
+            except Exception as exc:
+                replies[index] = error_for_exception(exc)
+        if thunks:
+            def run_batch():
+                outcomes = []
+                for _, fn, args, kwargs in thunks:
+                    try:
+                        outcomes.append(fn(*args, **kwargs))
+                    except Exception as exc:
+                        outcomes.append(exc)
+                return outcomes
+
+            try:
+                outcomes = await self.gateway.run(run_batch)
+            except ReproError as exc:
+                for index, _, _, _ in thunks:
+                    replies[index] = error_for_exception(exc)
+            else:
+                for (index, _, _, _), outcome in zip(thunks, outcomes):
+                    if isinstance(outcome, BaseException):
+                        replies[index] = error_for_exception(outcome)
+                    else:
+                        replies[index] = self._result_reply(outcome)
+        return replies
+
     @staticmethod
     def _sql_of(message: dict) -> str:
         sql = message.get("sql")
@@ -119,23 +208,55 @@ class ClientSession:
             raise ProtocolError("'mode' must be a string when present")
         return mode
 
+    def _result_reply(self, result) -> dict:
+        """The reply for a completed statement, per negotiated protocol.
+
+        v1 eagerly converts rows to wire-safe JSON lists.  v2 carries
+        the raw :class:`QueryResult` under the private ``"_result"``
+        key instead: the server's writer encodes it into binary
+        columnar frames (chunked when large), so rows are never
+        JSON-exploded just to be re-parsed on the other side.  Tiny
+        results (``SMALL_RESULT_ROWS`` and under — the count(*) replies
+        a pipelined workload is made of) stay JSON even on v2: the
+        columnar codec only pays for itself in bulk.
+        """
+        if (
+            self.protocol_version >= PROTOCOL_V2
+            and len(result.rows) > SMALL_RESULT_ROWS
+        ):
+            return {"type": "result", "_result": result}
+        return result_reply(result)
+
     # ------------------------------------------------------------------ #
     # Handshake / lifecycle
     # ------------------------------------------------------------------ #
 
     async def _on_hello(self, message: dict) -> dict:
-        version = message.get("protocol")
-        if version != PROTOCOL_VERSION:
+        # The client advertises a version *list* (legacy v1-only clients
+        # send just the scalar "protocol" field); the highest version
+        # both sides speak wins, so a v1 client keeps working against a
+        # v2 server and vice versa.
+        version = negotiate_version(message, self.offer_versions)
+        if version is None:
             return error_reply(
                 "protocol",
-                f"protocol version mismatch: server speaks "
-                f"{PROTOCOL_VERSION}, client sent {version!r}",
+                f"no common protocol version: server speaks "
+                f"{list(self.offer_versions)}, client offered "
+                f"{hello_versions(message)}",
             )
+        self.protocol_version = version
+        self.compression = (
+            negotiate_compression(message)
+            if version >= PROTOCOL_V2 and self.compression_enabled
+            else None
+        )
         self.greeted = True
         self.client_name = str(message.get("client", "?"))
         return {
             "type": "hello",
-            "protocol": PROTOCOL_VERSION,
+            "protocol": version,
+            "versions": list(self.offer_versions),
+            "compression": self.compression,
             "server": "repro",
             "session": self.session_id,
             "cracking": self.database.cracking,
@@ -168,7 +289,7 @@ class ClientSession:
                     "inside a transaction"
                 )
         result = await self.gateway.run(self.database.execute, sql, mode=mode)
-        return result_reply(result)
+        return self._result_reply(result)
 
     async def _on_prepare(self, message: dict) -> dict:
         sql = self._sql_of(message)
@@ -199,7 +320,7 @@ class ClientSession:
         mode = self._mode_of(message)
         self.statements += 1
         result = await self.gateway.run(prepared.execute, params, mode=mode)
-        return result_reply(result)
+        return self._result_reply(result)
 
     async def _on_deallocate(self, message: dict) -> dict:
         handle, _ = self._prepared_of(message)
@@ -279,6 +400,8 @@ class ClientSession:
             "session": {
                 "id": self.session_id,
                 "client": self.client_name,
+                "protocol": self.protocol_version,
+                "compression": self.compression,
                 "statements": self.statements,
                 "prepared": len(self._prepared),
                 "in_transaction": self._txn is not None,

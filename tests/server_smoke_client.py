@@ -36,11 +36,16 @@ def load(client: Client) -> None:
 def stream(client: Client, seed: int) -> None:
     rng = np.random.default_rng(seed)
     matched = 0
-    for _ in range(QUERIES):
-        low = int(rng.integers(0, DOMAIN))
-        matched += client.execute(
-            f"SELECT count(*) FROM r WHERE a BETWEEN {low} AND {low + 100}"
-        ).scalar()
+    statements = [
+        f"SELECT count(*) FROM r WHERE a BETWEEN {low} AND {low + 100}"
+        for low in (int(v) for v in rng.integers(0, DOMAIN, size=QUERIES))
+    ]
+    # Half sequentially, half pipelined — both paths must agree with the
+    # negotiated protocol.
+    for statement in statements[: QUERIES // 2]:
+        matched += client.execute(statement).scalar()
+    for result in client.execute_many(statements[QUERIES // 2 :]):
+        matched += result.scalar()
     client.execute(f"INSERT INTO r VALUES ({100000 + seed}, {seed})")
     statement = client.prepare("SELECT count(*) FROM r WHERE a BETWEEN 0 AND 10")
     assert statement.execute((0, DOMAIN)).scalar() >= ROWS
@@ -58,12 +63,25 @@ def main() -> int:
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--load", action="store_true")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--protocol", choices=("v1", "v2"), default=None,
+        help="pin the negotiated wire protocol (default: highest common)",
+    )
     args = parser.parse_args()
-    with Client(args.host, args.port, max_retries=20, retry_delay=0.25) as client:
+    with Client(
+        args.host,
+        args.port,
+        max_retries=20,
+        retry_delay=0.25,
+        protocol=args.protocol,
+    ) as client:
         if args.load:
             load(client)
         else:
             stream(client, args.seed)
+        negotiated = client.protocol_version
+        wanted = {None: (1, 2), "v1": (1,), "v2": (2,)}[args.protocol]
+        assert negotiated in wanted, (negotiated, args.protocol)
     return 0
 
 

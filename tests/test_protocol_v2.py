@@ -1,0 +1,524 @@
+"""Protocol v2: binary columnar codec, negotiation, streaming, pipelining.
+
+Four layers of proof that v2 is a pure transport optimisation:
+
+* codec unit tests — every column encoding (ndarray / dict / json)
+  roundtrips value-exactly, compressed or not, chunked or whole;
+* negotiation — a version-*list* HELLO picks the highest common
+  version, legacy scalar-only clients keep working, and no common
+  version is a typed error, not a hang;
+* differential — the same oracle workload through a v1 client, a v2
+  client and embedded execution produces identical results (the wire
+  format changed; the answers must not);
+* streaming — a result past the single-frame cap crosses the wire in
+  chunks under v2 (and is a typed error under v1), and a stream torn
+  mid-chunk surfaces as a client-side error, never as silent
+  truncation.
+"""
+
+import socket
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.client import Client
+from repro.errors import ProtocolError, RemoteError, ServerUnavailableError
+from repro.server import ServerThread
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_V2,
+    PROTOCOL_VERSION,
+    SMALL_RESULT_ROWS,
+    SUPPORTED_VERSIONS,
+    FrameDecoder,
+    ResultAssembler,
+    encode_frame,
+    encode_result_frames,
+    hello_versions,
+    negotiate_compression,
+    negotiate_version,
+    versions_up_to,
+)
+from repro.sql import Database, QueryResult
+from repro.storage.table import Column, Relation, Schema
+
+from oracle import load_standard, random_range_queries, standard_query_suite
+from test_server import served, wire_json
+
+SEED = 20260808
+
+
+def decode_frames(frames) -> list[dict]:
+    """All logical messages carried by an iterable of raw frames."""
+    decoder = FrameDecoder()
+    messages = []
+    for frame in frames:
+        messages.extend(decoder.feed(frame))
+    return messages
+
+
+def assemble(frames) -> dict:
+    """One logical result out of a FULL frame or a chunk stream."""
+    assembler = ResultAssembler()
+    for message in decode_frames(frames):
+        final = assembler.feed(message)
+        if final is not None:
+            return final
+    raise AssertionError("frame stream ended without a complete result")
+
+
+class TestVersionNegotiation:
+    def test_versions_up_to(self):
+        assert versions_up_to(None) == SUPPORTED_VERSIONS
+        assert versions_up_to("v1") == (PROTOCOL_VERSION,)
+        assert versions_up_to(1) == (PROTOCOL_VERSION,)
+        assert versions_up_to("v2") == SUPPORTED_VERSIONS
+        assert versions_up_to(PROTOCOL_V2) == SUPPORTED_VERSIONS
+        with pytest.raises(ProtocolError):
+            versions_up_to("v9")
+
+    def test_hello_versions_list_and_legacy_scalar(self):
+        assert hello_versions({"versions": [1, 2], "protocol": 1}) == [1, 2]
+        # A legacy client sends only the scalar field: that IS its list.
+        assert hello_versions({"protocol": 1}) == [1]
+
+    def test_highest_common_version_wins(self):
+        assert negotiate_version({"versions": [1, 2]}, (1, 2)) == 2
+        assert negotiate_version({"versions": [1]}, (1, 2)) == 1
+        assert negotiate_version({"versions": [1, 2]}, (1,)) == 1
+        assert negotiate_version({"protocol": 1}, (1, 2)) == 1
+        assert negotiate_version({"versions": [99]}, (1, 2)) is None
+
+    def test_negotiate_compression(self):
+        assert negotiate_compression({"compression": ["zlib"]}, ("zlib",)) == "zlib"
+        assert negotiate_compression({"compression": []}, ("zlib",)) is None
+        assert negotiate_compression({}, ("zlib",)) is None
+        assert negotiate_compression({"compression": ["lz9"]}, ("zlib",)) is None
+
+
+class TestBinaryCodec:
+    def _roundtrip(self, result: QueryResult, **kwargs) -> dict:
+        return assemble(encode_result_frames(result, **kwargs))
+
+    def test_numeric_and_varchar_roundtrip(self):
+        rows = [(i, i * 0.5, f"t{i % 3}") for i in range(50)]
+        message = self._roundtrip(
+            QueryResult(columns=["k", "w", "tag"], rows=rows)
+        )
+        assert message["type"] == "result"
+        assert message["columns"] == ["k", "w", "tag"]
+        assert message["rows"] == rows
+        assert message["affected"] == 0
+        # Numeric columns arrive as zero-copy numpy views, varchar does
+        # not (it is dictionary-coded, not a raw buffer).
+        assert message["arrays"]["k"].dtype.kind == "i"
+        assert message["arrays"]["w"].dtype.kind == "f"
+        assert "tag" not in message["arrays"]
+        assert np.array_equal(message["arrays"]["k"], np.arange(50))
+
+    def test_varchar_nulls_dictionary_coded(self):
+        rows = [("a",), (None,), ("b",), ("a",), (None,)]
+        message = self._roundtrip(QueryResult(columns=["tag"], rows=rows))
+        assert message["rows"] == rows
+
+    def test_mixed_type_column_falls_back_to_json(self):
+        # Ints with NULLs are not a numpy dtype: the json encoding
+        # carries them without inventing NaNs.
+        rows = [(1,), (None,), (3,)]
+        message = self._roundtrip(QueryResult(columns=["x"], rows=rows))
+        assert message["rows"] == rows
+        assert "x" not in message["arrays"]
+
+    def test_empty_result_roundtrip(self):
+        message = self._roundtrip(QueryResult(columns=["k", "a"], rows=[]))
+        assert message["rows"] == []
+        assert message["columns"] == ["k", "a"]
+
+    def test_affected_carried(self):
+        message = self._roundtrip(
+            QueryResult(columns=[], rows=[], affected=17)
+        )
+        assert message["affected"] == 17
+
+    def test_chunked_stream_reassembles(self):
+        rows = [(i, float(i)) for i in range(1000)]
+        result = QueryResult(columns=["k", "w"], rows=rows)
+        frames = list(encode_result_frames(result, chunk_rows=64))
+        # 1000 rows at 64/chunk: 16 CHUNK frames plus the END trailer.
+        assert len(frames) == 17
+        message = assemble(frames)
+        assert message["rows"] == rows
+        assert np.array_equal(message["arrays"]["k"], np.arange(1000))
+
+    def test_compression_shrinks_repetitive_bodies(self):
+        rows = [(7,) for _ in range(10_000)]
+        result = QueryResult(columns=["x"], rows=rows)
+        raw = b"".join(encode_result_frames(result, compression=None))
+        squeezed = b"".join(encode_result_frames(result, compression="zlib"))
+        assert len(squeezed) < len(raw) / 10
+        assert assemble([squeezed])["rows"] == rows
+
+    def test_incompressible_bodies_stay_raw(self):
+        rng = np.random.default_rng(SEED)
+        bound = np.iinfo(np.int64)
+        rows = [
+            (int(v),)
+            for v in rng.integers(bound.min, bound.max, 10_000, dtype=np.int64)
+        ]
+        result = QueryResult(columns=["x"], rows=rows)
+        frames = list(encode_result_frames(result, compression="zlib"))
+        # Frame layout: length(4) marker(1) kind(1) flags(1) — all eight
+        # bytes of a full-range int64 are random, zlib cannot shrink
+        # them, so the compressed flag stays clear and the body ships raw.
+        assert all(frame[6] == 0 for frame in frames)
+        assert assemble(frames)["rows"] == rows
+
+    def test_oversized_single_frame_rejected(self, monkeypatch):
+        import repro.server.protocol as protocol
+
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 1024)
+        rows = [(i,) for i in range(1000)]
+        with pytest.raises(ProtocolError):
+            list(
+                encode_result_frames(
+                    QueryResult(columns=["x"], rows=rows), chunk_rows=1000
+                )
+            )
+        # Chunked, the same result fits fine under the shrunken cap.
+        frames = list(
+            encode_result_frames(
+                QueryResult(columns=["x"], rows=rows), chunk_rows=50
+            )
+        )
+        assert assemble(frames)["rows"] == rows
+
+
+class TestResultAssembler:
+    def _frames(self, n_rows=100, chunk_rows=10):
+        rows = [(i,) for i in range(n_rows)]
+        return decode_frames(
+            encode_result_frames(
+                QueryResult(columns=["x"], rows=rows), chunk_rows=chunk_rows
+            )
+        )
+
+    def test_non_result_messages_pass_through(self):
+        assembler = ResultAssembler()
+        message = {"type": "stats", "server": {}}
+        assert assembler.feed(message) is message
+        assert not assembler.mid_stream
+
+    def test_sequence_gap_is_torn(self):
+        messages = self._frames()
+        assembler = ResultAssembler()
+        assembler.feed(messages[0])
+        assert assembler.mid_stream
+        with pytest.raises(ProtocolError, match="torn result stream"):
+            assembler.feed(messages[2])  # seq 3 after seq 1
+
+    def test_missing_chunks_at_trailer_is_torn(self):
+        messages = self._frames()
+        assembler = ResultAssembler()
+        assembler.feed(messages[0])
+        with pytest.raises(ProtocolError, match="torn result stream"):
+            assembler.feed(messages[-1])  # trailer announces 10 chunks
+
+    def test_error_mid_stream_discards_partial(self):
+        messages = self._frames()
+        assembler = ResultAssembler()
+        assembler.feed(messages[0])
+        error = {"type": "error", "code": "internal", "message": "boom"}
+        assert assembler.feed(error) is error
+        assert not assembler.mid_stream
+
+
+class TestServedNegotiation:
+    """HELLO across real sockets: lists, legacy scalars, mismatches."""
+
+    def test_default_client_negotiates_v2_with_compression(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                assert client.protocol_version == PROTOCOL_V2
+                assert client.compression == "zlib"
+                session = client.stats()["session"]
+                assert session["protocol"] == PROTOCOL_V2
+                assert session["compression"] == "zlib"
+
+    def test_regression_v1_only_client_talks_to_v2_server(self):
+        """The negotiation bug this PR fixes: HELLO used to demand strict
+        version equality, so any version skew killed the connection.  A
+        legacy client that only speaks v1 (scalar ``protocol`` field, no
+        ``versions`` list) must keep working against a v2 server."""
+        with served() as (_, host, port, _thread):
+            sock = socket.create_connection((host, port))
+            try:
+                decoder = FrameDecoder()
+                sock.sendall(
+                    encode_frame(
+                        {"type": "hello", "protocol": 1, "client": "legacy"}
+                    )
+                )
+                reply = _read_one(sock, decoder)
+                assert reply["type"] == "hello"
+                assert reply["protocol"] == PROTOCOL_VERSION
+                sock.sendall(
+                    encode_frame(
+                        {"type": "query", "sql": "CREATE TABLE v (x integer)"}
+                    )
+                )
+                assert _read_one(sock, decoder)["type"] == "result"
+                sock.sendall(
+                    encode_frame(
+                        {"type": "query", "sql": "INSERT INTO v VALUES (1), (2)"}
+                    )
+                )
+                assert _read_one(sock, decoder)["affected"] == 2
+                sock.sendall(
+                    encode_frame({"type": "query", "sql": "SELECT v.x FROM v"})
+                )
+                reply = _read_one(sock, decoder)
+                # v1 replies are plain JSON: rows are lists, not tuples,
+                # and no binary frame ever reaches this client.
+                assert reply["rows"] == [[1], [2]]
+            finally:
+                sock.close()
+
+    def test_pinned_v1_client_against_v2_server(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port, protocol="v1") as client:
+                assert client.protocol_version == PROTOCOL_VERSION
+                client.execute("CREATE TABLE v (x integer)")
+                client.execute("INSERT INTO v VALUES (3), (4)")
+                assert sorted(client.execute("SELECT v.x FROM v").rows) == [
+                    (3,),
+                    (4,),
+                ]
+                assert client.stats()["session"]["protocol"] == PROTOCOL_VERSION
+
+    def test_v1_pinned_server_downgrades_v2_client(self):
+        with served(protocol="v1") as (_, host, port, _thread):
+            with Client(host, port) as client:
+                assert client.protocol_version == PROTOCOL_VERSION
+                client.execute("CREATE TABLE v (x integer)")
+                assert client.execute("SELECT v.x FROM v").rows == []
+
+    def test_no_common_version_is_a_typed_error(self):
+        with served() as (_, host, port, _thread):
+            sock = socket.create_connection((host, port))
+            try:
+                sock.sendall(
+                    encode_frame(
+                        {"type": "hello", "protocol": 99, "versions": [99]}
+                    )
+                )
+                reply = _read_one(sock, FrameDecoder())
+                assert reply["type"] == "error"
+                assert reply["code"] == "protocol"
+                # The error names both sides' offers, so the operator
+                # can see the skew without packet captures.
+                assert "99" in reply["message"]
+            finally:
+                sock.close()
+
+    def test_compression_opt_out(self):
+        with served(compression=False) as (_, host, port, _thread):
+            with Client(host, port) as client:
+                assert client.protocol_version == PROTOCOL_V2
+                assert client.compression is None
+
+
+class TestDifferentialV1V2:
+    """v1, v2 and embedded execution must be value-identical."""
+
+    def test_oracle_workload_v1_v2_embedded(self):
+        embedded = Database(cracking=True, mode="vector")
+        with served() as (_, host, port, _thread):
+            with Client(host, port, protocol="v1") as v1, Client(
+                host, port, protocol="v2"
+            ) as v2:
+                assert (v1.protocol_version, v2.protocol_version) == (1, 2)
+                rng = np.random.default_rng(SEED)
+                load_standard(embedded, seed=SEED)
+                load_standard(v2, seed=SEED)
+                workload = standard_query_suite(rng) + random_range_queries(
+                    rng, 30
+                )
+                for statement in workload:
+                    expected = embedded.execute(statement)
+                    for client in (v1, v2):
+                        actual = client.execute(statement)
+                        assert actual.columns == list(expected.columns), statement
+                        assert wire_json(actual.rows) == wire_json(
+                            expected.rows
+                        ), (client.protocol_version, statement)
+
+    def test_bulk_results_cross_the_small_result_floor(self):
+        """Results straddling SMALL_RESULT_ROWS switch codecs; both
+        sides of the boundary must agree with embedded execution."""
+        embedded = Database(cracking=True, mode="vector")
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                load_standard(embedded, seed=SEED)
+                load_standard(client, seed=SEED)
+                for limit in (1, SMALL_RESULT_ROWS, SMALL_RESULT_ROWS + 1, 200):
+                    statement = (
+                        f"SELECT r.k, r.a, r.w, r.tag FROM r "
+                        f"WHERE a >= 0 ORDER BY a, k LIMIT {limit}"
+                    )
+                    expected = embedded.execute(statement)
+                    actual = client.execute(statement)
+                    assert wire_json(actual.rows) == wire_json(expected.rows)
+                    if limit > SMALL_RESULT_ROWS:
+                        # Bulk results come back columnar: numeric
+                        # columns arrive as numpy arrays for free.
+                        assert actual.arrays["r.k"].dtype.kind == "i"
+
+    def test_pipelined_matches_sequential(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as pipelined, Client(
+                host, port, protocol="v1"
+            ) as sequential:
+                load_standard(pipelined, seed=SEED)
+                rng = np.random.default_rng(SEED + 1)
+                statements = [
+                    f"SELECT count(*), sum(r.a) FROM r WHERE a < {int(v)}"
+                    for v in rng.integers(0, 1000, 150)
+                ]
+                batched = pipelined.execute_many(statements, window=32)
+                for statement, result in zip(statements, batched):
+                    assert wire_json(result.rows) == wire_json(
+                        sequential.execute(statement).rows
+                    ), statement
+
+    def test_pipelined_error_keeps_stream_in_sync(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                client.execute("CREATE TABLE p (x integer)")
+                client.execute("INSERT INTO p VALUES (1), (2), (3)")
+                good = "SELECT count(*) FROM p"
+                out = client.execute_many(
+                    [good, "SELECT * FROM missing", good],
+                    raise_on_error=False,
+                )
+                assert out[0].scalar() == 3
+                assert out[1]["type"] == "error"
+                assert out[2].scalar() == 3
+                with pytest.raises(RemoteError):
+                    client.execute_many([good, "SELECT * FROM missing"])
+                # The connection survived both failures.
+                assert client.execute(good).scalar() == 3
+
+
+@pytest.fixture(scope="module")
+def big_database():
+    """2.2M rows of int64: a full scan is ~35 MiB of column payload,
+    past the 32 MiB single-frame cap."""
+    n = 2_200_000
+    assert n * 16 > MAX_FRAME_BYTES
+    database = Database(cracking=True, mode="vector", concurrent=True)
+    rng = np.random.default_rng(SEED)
+    relation = Relation.from_columns(
+        "big",
+        Schema([Column("k", "int"), Column("a", "int")]),
+        {"k": np.arange(n, dtype=np.int64), "a": rng.permutation(n)},
+    )
+    database.catalog.create_table(relation)
+    return database
+
+
+class TestStreamingPastFrameCap:
+    def test_v2_streams_result_past_32mib(self, big_database):
+        n = 2_200_000
+        with served(big_database) as (_, host, port, _thread):
+            with Client(host, port) as client:
+                assert client.protocol_version == PROTOCOL_V2
+                result = client.execute("SELECT big.k, big.a FROM big")
+                assert result.row_count == n
+                k = result.arrays["big.k"]
+                assert k.nbytes * 2 > MAX_FRAME_BYTES
+                assert int(k[0]) == 0 and int(k[-1]) == n - 1
+                assert int(result.arrays["big.a"].sum()) == n * (n - 1) // 2
+                # The stream left the connection healthy.
+                assert client.execute(
+                    "SELECT count(*) FROM big"
+                ).scalar() == n
+
+    def test_v1_gets_typed_error_not_disconnect(self, big_database):
+        with served(big_database) as (_, host, port, _thread):
+            with Client(host, port, protocol="v1") as client:
+                with pytest.raises(RemoteError) as info:
+                    client.execute("SELECT big.k, big.a FROM big")
+                assert info.value.code == "protocol"
+                assert client.execute(
+                    "SELECT count(*) FROM big"
+                ).scalar() == 2_200_000
+
+
+class TestTornStreamDisconnect:
+    """A server dying mid-chunk must surface as an error, never as a
+    silently truncated result."""
+
+    @contextmanager
+    def _scripted_server(self, frames_after_query: list[bytes]):
+        """A one-connection fake server: HELLO, then the scripted
+        frames in reply to the first query, then a hard close."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+
+        def serve() -> None:
+            conn, _ = listener.accept()
+            decoder = FrameDecoder()
+            _read_one(conn, decoder)  # hello
+            conn.sendall(
+                encode_frame(
+                    {"type": "hello", "protocol": 2, "session": 1}
+                )
+            )
+            _read_one(conn, decoder)  # the query
+            for frame in frames_after_query:
+                conn.sendall(frame)
+            conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            yield "127.0.0.1", port
+        finally:
+            listener.close()
+            thread.join(timeout=5)
+
+    def _chunk_frames(self) -> list[bytes]:
+        rows = [(i,) for i in range(100)]
+        return list(
+            encode_result_frames(
+                QueryResult(columns=["x"], rows=rows), chunk_rows=10
+            )
+        )
+
+    def test_disconnect_mid_chunk_raises_unavailable(self):
+        frames = self._chunk_frames()
+        with self._scripted_server(frames[:3]) as (host, port):
+            with pytest.raises(ServerUnavailableError):
+                Client(host, port, reconnect=False).execute(
+                    "SELECT big.x FROM big"
+                )
+
+    def test_out_of_sequence_chunk_raises_protocol_error(self):
+        frames = self._chunk_frames()
+        with self._scripted_server([frames[1]]) as (host, port):
+            with pytest.raises(ProtocolError, match="torn result stream"):
+                Client(host, port, reconnect=False).execute(
+                    "SELECT big.x FROM big"
+                )
+
+
+def _read_one(sock, decoder) -> dict:
+    """The next decoded message off a raw socket."""
+    while True:
+        data = sock.recv(65536)
+        assert data, "connection closed before a reply arrived"
+        messages = decoder.feed(data)
+        if messages:
+            return messages[0]

@@ -237,7 +237,10 @@ def _print_store_summary(db) -> None:
     if stats.get("recovery_torn_tail_discarded"):
         print("note: a torn WAL tail was discarded during recovery")
     for name in db.catalog.table_names():
-        print(f"  table {name}: {len(db.catalog.table(name))} rows")
+        relation = db.catalog.table(name)
+        deleted = relation.deleted_count
+        note = f" (+{deleted} tombstoned)" if deleted else ""
+        print(f"  table {name}: {relation.live_count} rows{note}")
     for (table, attr), column in sorted(db.cracked_columns().items()):
         print(f"  cracker {table}.{attr}: {column.piece_count} pieces")
 

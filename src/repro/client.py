@@ -27,13 +27,17 @@ into one engine trip.
 Both reconnect: a dropped connection is re-established (with retries
 and backoff), the HELLO handshake is replayed and every live prepared
 statement is transparently re-prepared before the failed request is
-retried once.  Caveats, stated plainly: if the server dies *after*
-executing a mutation but before replying, the retry re-applies it; and
-a ``timeout`` error reply means the *caller* gave up, not that the
-engine did — the server cannot kill a thread mid-crack, so the timed-out
-mutation (or COMMIT batch) may still complete and be WAL-logged in the
-background.  In both cases blind resubmission can double-apply:
-exactly-once delivery needs application-level idempotence.  An open
+retried once.  Retry discipline: only *idempotent* requests (SELECT,
+prepare/execute of prepared SELECTs, stats) are retried.  A mutation
+(INSERT/UPDATE/DELETE/CREATE/SELECT INTO) whose connection died
+mid-request raises :class:`~repro.errors.AmbiguousResultError` instead
+— the server may or may not have applied it before dying, and a blind
+retry would double-apply; the client reconnects first, so the caller
+can inspect server state and decide.  Relatedly, a ``timeout`` error
+reply means the *caller* gave up, not that the engine did — the server
+cannot kill a thread mid-crack, so the timed-out mutation (or COMMIT
+batch) may still complete and be WAL-logged in the background; blind
+resubmission after a timeout can equally double-apply.  An open
 transaction does not survive a reconnect: its server-side buffer died
 with the connection, so the client raises instead of silently
 committing half a transaction.
@@ -52,6 +56,7 @@ import time
 from collections import deque
 
 from repro.errors import (
+    AmbiguousResultError,
     ProtocolError,
     RemoteError,
     ServerUnavailableError,
@@ -75,6 +80,53 @@ _RECV_BYTES = 1 << 16
 #: — big enough to amortise round-trips, small enough that a window of
 #: requests can never wedge both peers' kernel buffers.
 DEFAULT_PIPELINE_WINDOW = 64
+
+
+def _statement_mutates(sql: str) -> bool:
+    """Client-side classification: could this statement change state?
+
+    Deliberately conservative and parser-free: the first keyword decides,
+    except SELECT, which mutates only with an INTO clause (detected as a
+    bare ``into`` token outside string literals).  Unknown verbs count as
+    mutations — they will fail server-side anyway, and guessing
+    "idempotent" on an unrecognised statement is how double-applies ship.
+    """
+    i, n = 0, len(sql)
+    while i < n:
+        if sql[i].isspace():
+            i += 1
+        elif sql.startswith("--", i):
+            while i < n and sql[i] != "\n":
+                i += 1
+        else:
+            break
+    start = i
+    while i < n and (sql[i].isalpha() or sql[i] == "_"):
+        i += 1
+    verb = sql[start:i].lower()
+    if verb != "select":
+        return True
+    in_string = False
+    word = []
+    for ch in sql[i:]:
+        if ch == "'":
+            in_string = not in_string
+            word = []
+        elif not in_string and (ch.isalnum() or ch == "_"):
+            word.append(ch)
+        else:
+            if not in_string and "".join(word).lower() == "into":
+                return True
+            word = []
+    return "".join(word).lower() == "into"
+
+
+def _ambiguous_mutation(sql: str) -> AmbiguousResultError:
+    return AmbiguousResultError(
+        f"connection lost while executing a mutation; it may or may not "
+        f"have been applied server-side, so it was NOT retried "
+        f"(statement: {sql[:80]!r})"
+    )
 
 
 def _result_from_reply(reply: dict) -> QueryResult:
@@ -284,6 +336,13 @@ class Client(_ClientCore):
     def _request(self, message: dict, prepared: "Prepared | None" = None) -> dict:
         """Exchange with reconnect-and-retry-once on transport failure.
 
+        Only idempotent requests are retried.  A query classified as a
+        mutation raises :class:`AmbiguousResultError` instead: the server
+        may have applied it before the connection died, and re-sending
+        it would double-apply.  The client still reconnects (best
+        effort), so the session stays usable for the caller's own
+        verification queries.
+
         ``prepared`` names the statement a handle-bearing message refers
         to: reconnecting re-prepares it under a *new* handle, so the
         retried message must carry the refreshed one, not the original.
@@ -300,6 +359,14 @@ class Client(_ClientCore):
                 raise TransactionError(
                     "connection lost mid-transaction; transaction aborted"
                 ) from None
+            if message.get("type") == "query" and _statement_mutates(
+                message.get("sql", "")
+            ):
+                try:
+                    self.connect()
+                except ServerUnavailableError:
+                    pass
+                raise _ambiguous_mutation(message.get("sql", "")) from None
             self.connect()
             if prepared is not None:
                 message = {**message, "handle": prepared.handle}
@@ -546,6 +613,7 @@ class AsyncClient(_ClientCore):
         return Client._filter_goodbye(message, reply)
 
     async def _request(self, message: dict, prepared=None) -> dict:
+        """See :meth:`Client._request`: mutations are never auto-retried."""
         try:
             return await self._roundtrip(message)
         except ServerUnavailableError:
@@ -556,6 +624,14 @@ class AsyncClient(_ClientCore):
                 raise TransactionError(
                     "connection lost mid-transaction; transaction aborted"
                 ) from None
+            if message.get("type") == "query" and _statement_mutates(
+                message.get("sql", "")
+            ):
+                try:
+                    await self._connect()
+                except ServerUnavailableError:
+                    pass
+                raise _ambiguous_mutation(message.get("sql", "")) from None
             await self._connect()
             if prepared is not None:
                 # Reconnecting re-prepared it under a fresh handle.

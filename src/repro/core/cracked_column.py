@@ -232,6 +232,12 @@ class CrackedColumn:
         self.query_stats = QueryStats()
         self._pending_values: list[np.ndarray] = []
         self._pending_oids: list[np.ndarray] = []
+        # DML buffers (the "updating a cracked database" follow-up):
+        # deletes and updates queue here and are merged out of the cracked
+        # pieces by the next query, exactly like pending inserts merge in.
+        self._pending_delete_oids: list[np.ndarray] = []
+        self._pending_update_oids: list[np.ndarray] = []
+        self._pending_update_values: list[np.ndarray] = []
         self._next_oid = int(self.oids.max()) + 1 if len(self.oids) else 0
         # Weak references to live zero-copy snapshots (and their
         # handed-out view arrays); storage is retired — copied — before
@@ -250,6 +256,22 @@ class CrackedColumn:
     @property
     def pending_count(self) -> int:
         return sum(len(chunk) for chunk in self._pending_values)
+
+    @property
+    def pending_delete_count(self) -> int:
+        return sum(len(chunk) for chunk in self._pending_delete_oids)
+
+    @property
+    def pending_update_count(self) -> int:
+        return sum(len(chunk) for chunk in self._pending_update_oids)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(
+            self._pending_values
+            or self._pending_delete_oids
+            or self._pending_update_oids
+        )
 
     # ------------------------------------------------------------------ #
     # Snapshot copy-on-write
@@ -480,16 +502,114 @@ class CrackedColumn:
             self._next_oid = max(self._next_oid, int(oids.max()) + 1)
         return oids
 
+    def delete(self, oids) -> int:
+        """Queue deletions by oid; rows vanish from the next query on.
+
+        Oids still sitting in the pending-insert (or pending-update)
+        buffers are resolved eagerly — they never reach the cracked
+        pieces; oids already merged into storage are buffered and merged
+        out piece-wise by the next query.  Returns the count applied.
+        """
+        oids = np.unique(np.asarray(oids, dtype=np.int64))
+        if oids.size == 0:
+            return 0
+        applied = 0
+        # Eager: a pending insert of a now-deleted row simply disappears.
+        if self._pending_values:
+            kept_values, kept_oids = [], []
+            for values, chunk_oids in zip(self._pending_values, self._pending_oids):
+                keep = ~np.isin(chunk_oids, oids)
+                applied += int(len(chunk_oids) - keep.sum())
+                if keep.all():
+                    kept_values.append(values)
+                    kept_oids.append(chunk_oids)
+                elif keep.any():
+                    kept_values.append(values[keep])
+                    kept_oids.append(chunk_oids[keep])
+            self._pending_values = kept_values
+            self._pending_oids = kept_oids
+        # Eager: a pending update of a deleted row is moot.
+        if self._pending_update_oids:
+            kept_values, kept_oids = [], []
+            for values, chunk_oids in zip(
+                self._pending_update_values, self._pending_update_oids
+            ):
+                keep = ~np.isin(chunk_oids, oids)
+                if keep.all():
+                    kept_values.append(values)
+                    kept_oids.append(chunk_oids)
+                elif keep.any():
+                    kept_values.append(values[keep])
+                    kept_oids.append(chunk_oids[keep])
+            self._pending_update_values = kept_values
+            self._pending_update_oids = kept_oids
+        in_storage = oids[np.isin(oids, self.oids)]
+        if in_storage.size:
+            self._pending_delete_oids.append(in_storage)
+            applied += int(in_storage.size)
+        return applied
+
+    def update(self, oids, values) -> int:
+        """Queue value rewrites by oid (last write wins per oid).
+
+        Rows still in the pending-insert buffer are rewritten in place;
+        rows already in storage are buffered and physically moved to
+        their new piece at the next merge (remove + re-insert under the
+        same oid).  Returns the count applied.
+        """
+        oids = np.asarray(oids, dtype=np.int64)
+        values = np.asarray(values, dtype=self.values.dtype)
+        if len(oids) != len(values):
+            raise CrackError(
+                f"update got {len(oids)} oids but {len(values)} values"
+            )
+        if oids.size == 0:
+            return 0
+        applied = 0
+        remaining = np.ones(len(oids), dtype=bool)
+        # Eager: rewrite rows that are still waiting in the insert buffer.
+        if self._pending_values:
+            for chunk_values, chunk_oids in zip(
+                self._pending_values, self._pending_oids
+            ):
+                chunk_pos = np.flatnonzero(np.isin(chunk_oids, oids))
+                if chunk_pos.size == 0:
+                    continue
+                # Map each hit back to its (last) slot in the request.
+                order = np.argsort(oids, kind="stable")
+                located = np.searchsorted(oids[order], chunk_oids[chunk_pos])
+                chunk_values[chunk_pos] = values[order][located]
+                applied += int(chunk_pos.size)
+                remaining &= ~np.isin(oids, chunk_oids[chunk_pos])
+        oids = oids[remaining]
+        values = values[remaining]
+        in_storage = np.isin(oids, self.oids)
+        if in_storage.any():
+            self._pending_update_oids.append(oids[in_storage])
+            self._pending_update_values.append(values[in_storage])
+            applied += int(in_storage.sum())
+        return applied
+
     def _merge_pending(self) -> None:
         """Fold pending tuples into their pieces, preserving all invariants.
 
-        Fully vectorised over the cracker index's boundary arrays: piece
-        assignment is two ``searchsorted`` passes, the scatter is one
-        ``np.insert``, and the boundary shift is one prefix-sum add — no
-        per-piece Python loop and no :class:`Piece` object rebuild.  The
-        merge writes *new* storage arrays, so outstanding zero-copy
+        Three phases, all vectorised over the index's boundary arrays:
+
+        1. *Removal*: rows with a pending delete or update leave storage.
+           One ``np.isin`` builds the keep mask; each boundary shifts left
+           by the prefix sum of per-piece removal counts
+           (:meth:`CrackerIndex.remove_shift`).
+        2. *Re-insert*: updated rows re-enter the pending-insert stream
+           under their original oid carrying the new value (last write
+           wins), so they land in whatever piece now bounds them.
+        3. *Insert*: the existing merge — piece assignment is two
+           ``searchsorted`` passes, the scatter one ``np.insert``, the
+           boundary shift one prefix-sum add.
+
+        Every phase writes *new* storage arrays, so outstanding zero-copy
         snapshots keep their (retired) generation untouched.
         """
+        self._merge_removals()
         if not self._pending_values:
             return
         pending_values = np.concatenate(self._pending_values)
@@ -529,9 +649,64 @@ class CrackedColumn:
         # retired, so outstanding snapshots need no further shielding.
         self._live_snapshot_refs = []
 
-    # ------------------------------------------------------------------ #
-    # Cracking internals
-    # ------------------------------------------------------------------ #
+    def _merge_removals(self) -> None:
+        """Phase 1+2 of the merge: take deleted/updated rows out of storage
+        and re-queue updated rows as pending inserts with their new value."""
+        if not (self._pending_delete_oids or self._pending_update_oids):
+            return
+        delete_oids = (
+            np.concatenate(self._pending_delete_oids)
+            if self._pending_delete_oids
+            else np.empty(0, dtype=np.int64)
+        )
+        self._pending_delete_oids.clear()
+        if self._pending_update_oids:
+            update_oids = np.concatenate(self._pending_update_oids)
+            update_values = np.concatenate(self._pending_update_values)
+            self._pending_update_oids.clear()
+            self._pending_update_values.clear()
+            # Last write wins: keep each oid's final buffered value.
+            reversed_oids = update_oids[::-1]
+            _, first_in_reversed = np.unique(reversed_oids, return_index=True)
+            keep = len(update_oids) - 1 - first_in_reversed
+            update_oids = update_oids[keep]
+            update_values = update_values[keep]
+        else:
+            update_oids = np.empty(0, dtype=np.int64)
+            update_values = np.empty(0, dtype=self.values.dtype)
+        removal = np.union1d(delete_oids, update_oids)
+        if removal.size == 0:
+            return
+        self.query_stats.merged_updates += int(removal.size)
+        update_present = np.isin(update_oids, self.oids)
+        keep_mask = ~np.isin(self.oids, removal)
+        removed_positions = np.flatnonzero(~keep_mask)
+        if removed_positions.size:
+            boundary_count = len(self.index)
+            if boundary_count:
+                # Boundary b moves left by the number of removed rows
+                # before it: searchsorted of the (sorted) removed
+                # positions against the boundary positions, differenced
+                # into per-piece counts.
+                cuts = np.searchsorted(removed_positions, self.index.positions())
+                per_piece = np.diff(
+                    np.concatenate([[0], cuts, [removed_positions.size]])
+                )
+                self.values = self.values[keep_mask]
+                self.oids = self.oids[keep_mask]
+                self.index.remove_shift(per_piece, len(self.values))
+            else:
+                self.values = self.values[keep_mask]
+                self.oids = self.oids[keep_mask]
+                self.index.column_size = len(self.values)
+            # Fancy indexing built fresh storage: the pre-removal
+            # generation is retired, no further shielding needed.
+            self._live_snapshot_refs = []
+        if update_present.any():
+            # Re-insert only rows that actually left storage (an update
+            # for an unknown oid is a no-op, mirroring delete).
+            self._pending_values.append(update_values[update_present])
+            self._pending_oids.append(update_oids[update_present])
 
     def _kernel_two(self, start: int, stop: int, pivot, kind: str) -> int:
         self._shield_snapshots()
@@ -655,11 +830,29 @@ class CrackedColumn:
             if self._pending_oids
             else np.empty(0, dtype=np.int64)
         )
+        pending_delete = (
+            np.concatenate(self._pending_delete_oids)
+            if self._pending_delete_oids
+            else np.empty(0, dtype=np.int64)
+        )
+        pending_update_oids = (
+            np.concatenate(self._pending_update_oids)
+            if self._pending_update_oids
+            else np.empty(0, dtype=np.int64)
+        )
+        pending_update_values = (
+            np.concatenate(self._pending_update_values)
+            if self._pending_update_values
+            else np.empty(0, dtype=dtype)
+        )
         return {
             "values": self.values.copy(),
             "oids": self.oids.copy(),
             "pending_values": pending_values,
             "pending_oids": pending_oids,
+            "pending_delete_oids": pending_delete,
+            "pending_update_oids": pending_update_oids,
+            "pending_update_values": pending_update_values,
             "kernel": self.kernel,
             "crack_in_three_enabled": bool(self.crack_in_three_enabled),
             "crack_threshold": int(self.crack_threshold),
@@ -693,6 +886,25 @@ class CrackedColumn:
             column._pending_oids = [
                 np.asarray(state["pending_oids"], dtype=np.int64).copy()
             ]
+        # DML buffers: absent in pre-DML snapshots (.get defaults keep
+        # FORMAT_VERSION stable).
+        pending_delete = np.asarray(
+            state.get("pending_delete_oids", np.empty(0, dtype=np.int64)),
+            dtype=np.int64,
+        )
+        if len(pending_delete):
+            column._pending_delete_oids = [pending_delete.copy()]
+        pending_update_oids = np.asarray(
+            state.get("pending_update_oids", np.empty(0, dtype=np.int64)),
+            dtype=np.int64,
+        )
+        if len(pending_update_oids):
+            column._pending_update_oids = [pending_update_oids.copy()]
+            column._pending_update_values = [
+                np.asarray(state["pending_update_values"]).astype(
+                    column.values.dtype
+                )
+            ]
         column._next_oid = int(state["next_oid"])
         column.check_invariants()
         return column
@@ -709,6 +921,15 @@ class CrackedColumn:
                 f"index thinks column has {self.index.column_size} tuples, "
                 f"storage has {len(self.values)}"
             )
+        for label, chunks in (
+            ("delete", self._pending_delete_oids),
+            ("update", self._pending_update_oids),
+        ):
+            for chunk in chunks:
+                if chunk.size and not np.isin(chunk, self.oids).all():
+                    raise CrackError(
+                        f"pending {label} references oids absent from storage"
+                    )
         for piece in self.index.pieces():
             window = self.values[piece.start : piece.stop]
             if len(window) == 0:

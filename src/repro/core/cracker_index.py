@@ -364,6 +364,22 @@ class CrackerIndex:
         self._positions[: self._count] += np.cumsum(counts[:-1])
         self.column_size = new_column_size
 
+    def remove_shift(self, per_piece_removed: np.ndarray, new_column_size: int) -> None:
+        """Shift boundaries for a piece-wise removal of tuples.
+
+        The mirror of :meth:`merge_shift`: ``per_piece_removed[i]`` is the
+        number of tuples removed from piece ``i``; boundary ``b`` moves
+        left by the prefix sum ``removed[0..b]``.
+        """
+        removed = np.asarray(per_piece_removed, dtype=np.int64)
+        if len(removed) != self._count + 1:
+            raise CrackerIndexError(
+                f"remove_shift got {len(removed)} piece counts for "
+                f"{self._count + 1} pieces"
+            )
+        self._positions[: self._count] -= np.cumsum(removed[:-1])
+        self.column_size = new_column_size
+
     def clear(self) -> None:
         """Drop every boundary (the column becomes one uncracked piece)."""
         self._count = 0

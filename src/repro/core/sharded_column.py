@@ -125,15 +125,78 @@ class ShardedCrackedColumn:
         parallel: bool = True,
         max_workers: int | None = None,
     ) -> None:
-        if shards < 1:
-            raise CrackError(f"shard count must be >= 1, got {shards}")
         if source.tail_type not in ("int", "float", "oid"):
             raise CrackError(
                 f"cracking requires a numeric column, got {source.tail_type!r}"
             )
+        self._init_from_arrays(
+            source.tail_array(),
+            source.head_array(),
+            shards,
+            kernel,
+            crack_in_three_enabled,
+            crack_threshold,
+            parallel,
+            max_workers,
+        )
         self.source = source
-        values = source.tail_array()
-        oids = source.head_array()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        values: np.ndarray,
+        oids: np.ndarray | None = None,
+        shards: int = DEFAULT_SHARDS,
+        kernel: str = KERNEL_VECTORISED,
+        crack_in_three_enabled: bool = True,
+        crack_threshold: int = 0,
+        parallel: bool = True,
+        max_workers: int | None = None,
+    ) -> "ShardedCrackedColumn":
+        """Build a sharded cracker directly over value/oid arrays.
+
+        The tombstone-aware construction path: the provider hands the
+        *live* rows (with their storage-position oids), so a cracker
+        built after deletes never carries dead tuples.
+        """
+        values = np.asarray(values)
+        if values.dtype.kind not in ("i", "u", "f"):
+            raise CrackError(
+                f"cracking requires a numeric column, got dtype {values.dtype}"
+            )
+        if oids is None:
+            oids = np.arange(len(values), dtype=np.int64)
+        column = cls.__new__(cls)
+        column._init_from_arrays(
+            values,
+            np.asarray(oids, dtype=np.int64),
+            shards,
+            kernel,
+            crack_in_three_enabled,
+            crack_threshold,
+            parallel,
+            max_workers,
+        )
+        column.source = None
+        return column
+
+    def _init_from_arrays(
+        self,
+        values: np.ndarray,
+        oids: np.ndarray,
+        shards: int,
+        kernel: str,
+        crack_in_three_enabled: bool,
+        crack_threshold: int,
+        parallel: bool,
+        max_workers: int | None,
+    ) -> None:
+        if shards < 1:
+            raise CrackError(f"shard count must be >= 1, got {shards}")
+        if len(values) != len(oids):
+            raise CrackError(
+                f"got {len(values)} values but {len(oids)} oids"
+            )
         self.shard_count = min(shards, len(values)) or 1
         edges = np.linspace(0, len(values), self.shard_count + 1, dtype=np.int64)
         self.shards: list[CrackedColumn] = [
@@ -159,6 +222,7 @@ class ShardedCrackedColumn:
         # coverage checks compare against this snapshot plus appends.
         self._initial_rows = len(values)
         self._appended = 0
+        self._deleted = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -306,6 +370,50 @@ class ShardedCrackedColumn:
                     self.shards[index].append(values[mask], oids=oids[mask])
         return oids
 
+    def delete(self, oids) -> int:
+        """Queue deletions, fanned out to whichever shards hold the oids.
+
+        Initial rows were split contiguously and appends route by modulo,
+        so oid-to-shard membership cannot be computed arithmetically;
+        every shard filters the full set against its own oids (storage
+        plus pending areas) and applies only its members.  Returns the
+        number of distinct live tuples removed.  Held under the append
+        lock so the ``_deleted`` accounting and the per-shard buffers
+        move as one consistent cut (same lock order as ``append``).
+        """
+        oids = np.unique(np.asarray(oids, dtype=np.int64))
+        if not oids.size:
+            return 0
+        applied = 0
+        with self._append_lock:
+            for index in range(self.shard_count):
+                with self._locks[index]:
+                    applied += self.shards[index].delete(oids)
+            self._deleted += applied
+        return applied
+
+    def update(self, oids, values) -> int:
+        """Queue in-place value updates for ``oids``, fanned out per shard.
+
+        Like :meth:`delete`, each shard applies the subset of updates it
+        owns; rows keep their oids (an update never moves a tuple across
+        shards).  Returns the number of tuples updated.
+        """
+        oids = np.asarray(oids, dtype=np.int64)
+        values = np.asarray(values, dtype=self.shards[0].values.dtype)
+        if len(oids) != len(values):
+            raise CrackError(
+                f"update got {len(oids)} oids but {len(values)} values"
+            )
+        if not oids.size:
+            return 0
+        applied = 0
+        with self._append_lock:
+            for index in range(self.shard_count):
+                with self._locks[index]:
+                    applied += self.shards[index].update(oids, values)
+        return applied
+
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
@@ -329,6 +437,7 @@ class ShardedCrackedColumn:
                 "next_oid": int(self._next_oid),
                 "initial_rows": int(self._initial_rows),
                 "appended": int(self._appended),
+                "deleted": int(self._deleted),
                 "shards": [shard.export_state() for shard in self.shards],
             }
 
@@ -361,6 +470,8 @@ class ShardedCrackedColumn:
         column._next_oid = int(state["next_oid"])
         column._initial_rows = int(state["initial_rows"])
         column._appended = int(state["appended"])
+        # Pre-DML snapshots carry no delete accounting.
+        column._deleted = int(state.get("deleted", 0))
         column.check_invariants()
         return column
 
@@ -386,19 +497,26 @@ class ShardedCrackedColumn:
             for lock in self._locks:
                 stack.enter_context(lock)
             all_oids = []
+            buffered_deletes = 0
             for shard in self.shards:
                 shard.check_invariants()
                 all_oids.append(shard.oids)
                 all_oids.extend(shard._pending_oids)
+                buffered_deletes += shard.pending_delete_count
             flat = (
                 np.concatenate(all_oids)
                 if all_oids
                 else np.empty(0, dtype=np.int64)
             )
-            expected = self._initial_rows + self._appended
-            if len(flat) != expected:
+            # A delete already counted in ``_deleted`` stays physically in
+            # its shard's storage until that shard's next merge, so the
+            # live total is the physical total minus the still-buffered
+            # deletions.
+            expected = self._initial_rows + self._appended - self._deleted
+            if len(flat) - buffered_deletes != expected:
                 raise CrackError(
-                    f"shards hold {len(flat)} tuples, expected {expected}"
+                    f"shards hold {len(flat) - buffered_deletes} live tuples "
+                    f"({buffered_deletes} deletes buffered), expected {expected}"
                 )
             if len(np.unique(flat)) != len(flat):
                 raise CrackError("shards share oids; horizontal partition violated")

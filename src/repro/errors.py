@@ -96,6 +96,16 @@ class ServerUnavailableError(ServerError):
     """Raised by the client when the server cannot be (re)reached."""
 
 
+class AmbiguousResultError(ServerError):
+    """A mutation's outcome is unknown: the connection died mid-request.
+
+    The statement may or may not have been applied server-side, so the
+    client must not silently retry it (a re-apply would double-insert /
+    double-delete).  The caller decides: check server state, or re-issue
+    explicitly if the statement is idempotent.
+    """
+
+
 class RemoteError(ServerError):
     """A typed error reply from the server, surfaced client-side.
 

@@ -98,6 +98,9 @@ def _pack_single(state: dict, prefix: str, arrays: dict) -> dict:
     arrays[f"{prefix}oids"] = state["oids"]
     arrays[f"{prefix}pending_values"] = state["pending_values"]
     arrays[f"{prefix}pending_oids"] = state["pending_oids"]
+    arrays[f"{prefix}pending_delete_oids"] = state["pending_delete_oids"]
+    arrays[f"{prefix}pending_update_oids"] = state["pending_update_oids"]
+    arrays[f"{prefix}pending_update_values"] = state["pending_update_values"]
     return {
         "kernel": state["kernel"],
         "crack_in_three_enabled": bool(state["crack_in_three_enabled"]),
@@ -108,7 +111,7 @@ def _pack_single(state: dict, prefix: str, arrays: dict) -> dict:
 
 
 def _unpack_single(meta: dict, prefix: str, arrays) -> dict:
-    return {
+    state = {
         "values": arrays[f"{prefix}values"],
         "oids": arrays[f"{prefix}oids"],
         "pending_values": arrays[f"{prefix}pending_values"],
@@ -119,6 +122,17 @@ def _unpack_single(meta: dict, prefix: str, arrays) -> dict:
         "next_oid": int(meta["next_oid"]),
         "index": _unpack_index(meta["index"], prefix, arrays),
     }
+    # Pre-DML archives have no delete/update buffers; from_state defaults
+    # the missing keys to empty.
+    for key in (
+        "pending_delete_oids",
+        "pending_update_oids",
+        "pending_update_values",
+    ):
+        archive_key = f"{prefix}{key}"
+        if archive_key in getattr(arrays, "files", arrays):
+            state[key] = arrays[archive_key]
+    return state
 
 
 def pack_cracker(column) -> tuple[dict, dict]:
@@ -134,6 +148,7 @@ def pack_cracker(column) -> tuple[dict, dict]:
             "next_oid": int(state["next_oid"]),
             "initial_rows": int(state["initial_rows"]),
             "appended": int(state["appended"]),
+            "deleted": int(state["deleted"]),
             "shards": [
                 _pack_single(shard_state, f"s{i}_", arrays)
                 for i, shard_state in enumerate(state["shards"])
@@ -156,6 +171,7 @@ def unpack_cracker(meta: dict, arrays):
             "next_oid": int(meta["next_oid"]),
             "initial_rows": int(meta["initial_rows"]),
             "appended": int(meta["appended"]),
+            "deleted": int(meta.get("deleted", 0)),
             "shards": [
                 _unpack_single(shard_meta, f"s{i}_", arrays)
                 for i, shard_meta in enumerate(meta["shards"])
@@ -215,12 +231,17 @@ def write_snapshot(
                     }
                 )
                 bat_counter += 1
+            deleted_file = None
+            if relation.deleted_count:
+                deleted_file = f"del-{len(tables)}.npy"
+                _save_array(directory / deleted_file, relation.deleted_positions())
             tables.append(
                 {
                     "name": name,
                     "rows": len(relation),
                     "columns": [[c.name, c.col_type] for c in relation.schema],
                     "bats": bats,
+                    "deleted": deleted_file,
                 }
             )
 
@@ -333,6 +354,12 @@ def load_snapshot(database, directory: Path | str) -> dict:
             raise PersistError(
                 f"snapshot table {name!r} announces {entry['rows']} rows, "
                 f"payloads hold {lengths.pop()}"
+            )
+        # Pre-DML snapshots carry no tombstone payload.
+        deleted_file = entry.get("deleted")
+        if deleted_file is not None:
+            relation.set_deleted_positions(
+                np.load(directory / deleted_file, allow_pickle=False)
             )
         database.catalog.create_table(relation)
 

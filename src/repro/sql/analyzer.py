@@ -23,9 +23,11 @@ from repro.sql.ast_nodes import (
     ColRef,
     Comparison,
     Const,
+    DeleteStmt,
     SelectStmt,
     Star,
     TableRef,
+    UpdateStmt,
 )
 from repro.storage.catalog import Catalog
 
@@ -197,6 +199,87 @@ def analyze(stmt: SelectStmt, catalog: Catalog) -> AnalyzedQuery:
     )
     query.advice = extract_crackers(query, catalog, bindings)
     return query
+
+
+@dataclass
+class AnalyzedDML:
+    """The resolved form of one UPDATE or DELETE (single-table σ)."""
+
+    table: str
+    assignments: list[tuple[str, object]]  # (column, new value); empty = DELETE
+    selections: list[RangePredicate]
+    residuals: list[ResidualPredicate]
+
+
+def analyze_dml(stmt: UpdateStmt | DeleteStmt, catalog: Catalog) -> AnalyzedDML:
+    """Resolve an UPDATE/DELETE against ``catalog``.
+
+    DML targets exactly one table, so the WHERE clause folds through the
+    same range/residual machinery as SELECT but with a single binding and
+    no join predicates.
+    """
+    if not catalog.has_table(stmt.table):
+        raise SQLAnalysisError(f"unknown table {stmt.table!r}")
+    schema = catalog.table(stmt.table).schema
+    bindings = {stmt.table: TableRef(name=stmt.table)}
+
+    def resolve(col: ColRef) -> tuple[str, str]:
+        if col.table is not None and col.table != stmt.table:
+            raise SQLAnalysisError(
+                f"unknown table binding {col.table!r}; "
+                f"DML targets only {stmt.table!r}"
+            )
+        if col.column not in schema:
+            raise SQLAnalysisError(
+                f"table {stmt.table!r} has no column {col.column!r}"
+            )
+        return stmt.table, col.column
+
+    selections: dict[tuple[str, str], RangePredicate] = {}
+    joins: list[JoinPredicate] = []
+    residuals: list[ResidualPredicate] = []
+    for condition in stmt.where:
+        _fold_condition(condition, resolve, bindings, selections, joins, residuals)
+    if joins:
+        raise SQLAnalysisError(
+            "DML WHERE cannot compare columns (joins are not allowed)"
+        )
+
+    assignments: list[tuple[str, object]] = []
+    if isinstance(stmt, UpdateStmt):
+        for assignment in stmt.assignments:
+            if assignment.column not in schema:
+                raise SQLAnalysisError(
+                    f"table {stmt.table!r} has no column {assignment.column!r}"
+                )
+            col_type = schema.column(assignment.column).col_type
+            value = assignment.value.value
+            if col_type == "str":
+                if not isinstance(value, str):
+                    raise SQLAnalysisError(
+                        f"column {assignment.column!r} is text; got {value!r}"
+                    )
+            else:
+                if isinstance(value, str):
+                    raise SQLAnalysisError(
+                        f"column {assignment.column!r} is numeric; got {value!r}"
+                    )
+                if col_type == "float":
+                    value = float(value)
+                elif isinstance(value, float):
+                    if not value.is_integer():
+                        raise SQLAnalysisError(
+                            f"column {assignment.column!r} is integer; got {value!r}"
+                        )
+                    value = int(value)
+            assignments.append((assignment.column, value))
+
+    return AnalyzedDML(
+        table=stmt.table,
+        assignments=assignments,
+        selections=list(selections.values()),
+        residuals=residuals,
+    )
 
 
 def _fold_condition(condition, resolve, bindings, selections, joins, residuals) -> None:

@@ -111,3 +111,28 @@ class InsertSelectStmt:
 
     table: str
     select: SelectStmt
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``col = literal`` entry of an UPDATE's SET list."""
+
+    column: str
+    value: Const
+
+
+@dataclass
+class UpdateStmt:
+    """UPDATE name SET col = literal, ... [WHERE conjunction]."""
+
+    table: str
+    assignments: list[Assignment]
+    where: list  # conjunction of Comparison | Between (empty = all rows)
+
+
+@dataclass
+class DeleteStmt:
+    """DELETE FROM name [WHERE conjunction]."""
+
+    table: str
+    where: list  # conjunction of Comparison | Between (empty = all rows)

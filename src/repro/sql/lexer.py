@@ -1,8 +1,8 @@
 """SQL tokeniser for the subset the paper's examples use.
 
-Covers: CREATE TABLE, INSERT INTO ... VALUES / SELECT, SELECT with
-projections, aggregates, WHERE conjunctions of range/join predicates,
-BETWEEN, GROUP BY, INTO and LIMIT.
+Covers: CREATE TABLE, INSERT INTO ... VALUES / SELECT, UPDATE ... SET,
+DELETE FROM, SELECT with projections, aggregates, WHERE conjunctions of
+range/join predicates, BETWEEN, GROUP BY, INTO and LIMIT.
 """
 
 from __future__ import annotations
@@ -14,7 +14,7 @@ from repro.errors import SQLSyntaxError
 KEYWORDS = {
     "select", "from", "where", "and", "or", "not", "insert", "into",
     "values", "create", "table", "group", "by", "between", "limit",
-    "order", "asc", "desc",
+    "order", "asc", "desc", "update", "set", "delete",
     "integer", "int", "float", "real", "text", "varchar", "as",
 }
 

@@ -5,17 +5,20 @@ from __future__ import annotations
 from repro.errors import SQLSyntaxError
 from repro.sql.ast_nodes import (
     AggCall,
+    Assignment,
     Between,
     ColRef,
     Comparison,
     Const,
     CreateTableStmt,
+    DeleteStmt,
     InsertSelectStmt,
     InsertValuesStmt,
     OrderItem,
     SelectStmt,
     Star,
     TableRef,
+    UpdateStmt,
 )
 from repro.sql.lexer import Token, tokenize
 
@@ -92,6 +95,10 @@ def parse(sql: str, tokens: list[Token] | None = None):
         stmt = _parse_create(cursor)
     elif token.kind == "keyword" and token.value == "insert":
         stmt = _parse_insert(cursor)
+    elif token.kind == "keyword" and token.value == "update":
+        stmt = _parse_update(cursor)
+    elif token.kind == "keyword" and token.value == "delete":
+        stmt = _parse_delete(cursor)
     else:
         raise SQLSyntaxError(f"cannot parse statement starting with {token.value!r}")
     cursor.accept("symbol", ";")
@@ -294,3 +301,45 @@ def _parse_insert(cursor: _Cursor):
         if not cursor.accept("symbol", ","):
             break
     return InsertValuesStmt(table=table, rows=rows)
+
+
+# ---------------------------------------------------------------------- #
+# UPDATE / DELETE
+# ---------------------------------------------------------------------- #
+
+
+def _parse_update(cursor: _Cursor) -> UpdateStmt:
+    cursor.expect("keyword", "update")
+    table = cursor.expect("ident").value
+    cursor.expect("keyword", "set")
+    assignments = [_parse_assignment(cursor)]
+    while cursor.accept("symbol", ","):
+        assignments.append(_parse_assignment(cursor))
+    seen: set[str] = set()
+    for assignment in assignments:
+        if assignment.column in seen:
+            raise SQLSyntaxError(
+                f"column {assignment.column!r} assigned twice in one UPDATE"
+            )
+        seen.add(assignment.column)
+    where: list = []
+    if cursor.accept("keyword", "where"):
+        where = _parse_conjunction(cursor)
+    return UpdateStmt(table=table, assignments=assignments, where=where)
+
+
+def _parse_assignment(cursor: _Cursor) -> Assignment:
+    column = cursor.expect("ident").value
+    cursor.expect("symbol", "=")
+    value = _parse_const(cursor)
+    return Assignment(column=column, value=value)
+
+
+def _parse_delete(cursor: _Cursor) -> DeleteStmt:
+    cursor.expect("keyword", "delete")
+    cursor.expect("keyword", "from")
+    table = cursor.expect("ident").value
+    where: list = []
+    if cursor.accept("keyword", "where"):
+        where = _parse_conjunction(cursor)
+    return DeleteStmt(table=table, where=where)

@@ -21,13 +21,14 @@ expensive, reusable stages:
   different constants.
 
 Invalidation is per table: every entry records an epoch per referenced
-table, and the :class:`Database` bumps a table's epoch on DDL (CREATE,
-DROP, materialise-replace) *and* on insert-propagation.  Schema changes
-make cached name resolution stale; inserts change cardinalities that the
-(re-run) join planner reads from the live catalog, so insert invalidation
-is conservative — correctness never depends on it, but it keeps every
-cached artifact observably in sync with the data.  Templates are pure
-syntax and never go stale.
+table, and the :class:`Database` bumps a table's epoch on *every*
+mutating statement — DDL (CREATE, DROP, materialise-replace via SELECT
+INTO) and all DML (INSERT, UPDATE, DELETE).  Schema changes make cached
+name resolution stale; DML changes cardinalities and visible rows that
+the (re-run) join planner and executors read from the live catalog, so
+DML invalidation is conservative — correctness never depends on it, but
+it keeps every cached artifact observably in sync with the data.
+Templates are pure syntax and never go stale.
 
 Both levels are bounded LRU maps guarded by one lock; bound templates and
 analyzed queries are treated as immutable after publication, so hits are
@@ -229,9 +230,9 @@ class PlanCache:
     def invalidate_table(self, name: str) -> None:
         """Bump ``name``'s epoch: every entry referencing it goes stale.
 
-        Called on DDL touching the table and on insert-propagation into
-        it.  Stale exact entries are dropped lazily on their next lookup;
-        templates (pure syntax) survive.
+        Called on every mutation touching the table: DDL, INSERT,
+        UPDATE and DELETE.  Stale exact entries are dropped lazily on
+        their next lookup; templates (pure syntax) survive.
         """
         with self._lock:
             self._epochs[name] = self._epochs.get(name, 0) + 1

@@ -200,7 +200,28 @@ class CrackerProvider:
                 column = self._columns.get(key)
                 if column is None:
                     bat = relation.column(attr)
-                    if self.shards > 1:
+                    if relation.deleted_count:
+                        # Tombstone-aware first touch: copy only the live
+                        # rows, keyed by their storage positions, so the
+                        # cracker never administers dead tuples (and an
+                        # abort-triggered rebuild starts clean).
+                        live = relation.live_positions(len(bat))
+                        values = bat.tail_array()[live]
+                        if self.shards > 1:
+                            column = ShardedCrackedColumn.from_arrays(
+                                values,
+                                oids=live,
+                                shards=self.shards,
+                                parallel=self.parallel,
+                                crack_threshold=self.crack_threshold,
+                            )
+                        else:
+                            column = CrackedColumn.from_arrays(
+                                values,
+                                oids=live,
+                                crack_threshold=self.crack_threshold,
+                            )
+                    elif self.shards > 1:
                         column = ShardedCrackedColumn(
                             bat,
                             shards=self.shards,
@@ -345,6 +366,51 @@ class CrackerProvider:
             index = names.index(attr)
             with self.lock_for(table_name, attr).write_locked():
                 column.append([row[index] for row in rows], oids=oids)
+            updated += 1
+        return updated
+
+    def propagate_delete(self, table: str, positions: np.ndarray) -> int:
+        """Feed deleted storage positions to the table's crackers.
+
+        Every cracker of the table buffers the oids (cracker oids *are*
+        storage positions) and merges the removals out piece-wise on its
+        next query; an oid still sitting in a pending-insert buffer is
+        purged eagerly.  Returns the number of crackers notified.
+        """
+        updated = 0
+        positions = np.asarray(positions, dtype=np.int64)
+        for (table_name, attr), column in self.columns().items():
+            if table_name != table:
+                continue
+            with self.lock_for(table_name, attr).write_locked():
+                column.delete(positions)
+            updated += 1
+        return updated
+
+    def propagate_update(
+        self, table: str, positions: np.ndarray, assignments: dict
+    ) -> int:
+        """Feed in-place value rewrites to the crackers of assigned columns.
+
+        Only crackers over attributes named in ``assignments`` are
+        touched — an update leaves every other column's values (and all
+        oids) unchanged, so those cracker indexes stay exactly valid.
+        Returns the number of crackers updated.
+        """
+        updated = 0
+        positions = np.asarray(positions, dtype=np.int64)
+        for (table_name, attr), column in self.columns().items():
+            if table_name != table or attr not in assignments:
+                continue
+            values = np.full(
+                len(positions),
+                assignments[attr],
+                dtype=column.values.dtype
+                if isinstance(column, CrackedColumn)
+                else column.shards[0].values.dtype,
+            )
+            with self.lock_for(table_name, attr).write_locked():
+                column.update(positions, values)
             updated += 1
         return updated
 

@@ -20,13 +20,17 @@ from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import PersistError, SQLAnalysisError
-from repro.sql.analyzer import AnalyzedQuery, analyze
+from repro.sql.analyzer import AnalyzedDML, AnalyzedQuery, analyze, analyze_dml
 from repro.sql.ast_nodes import (
     CreateTableStmt,
+    DeleteStmt,
     InsertSelectStmt,
     InsertValuesStmt,
     SelectStmt,
+    UpdateStmt,
 )
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse
@@ -116,8 +120,8 @@ class Database:
     repeat of a SELECT skips lexing, parsing and analysis; a SELECT that
     differs only in literal constants skips parsing (the constants are
     rebound into the cached template).  Entries invalidate per table on
-    DDL and on INSERT.  ``prepare`` / ``execute_prepared`` expose the
-    parameterised form directly.
+    every mutation (DDL, INSERT, UPDATE, DELETE).  ``prepare`` /
+    ``execute_prepared`` expose the parameterised form directly.
 
     ``crack_threshold`` > 0 stops cracking pieces below that many tuples;
     a bound falling in such a piece is answered by a vectorised scan of
@@ -256,7 +260,16 @@ class Database:
         SELECTs never take it.
         """
         mutates = (
-            isinstance(stmt, (CreateTableStmt, InsertValuesStmt, InsertSelectStmt))
+            isinstance(
+                stmt,
+                (
+                    CreateTableStmt,
+                    InsertValuesStmt,
+                    InsertSelectStmt,
+                    UpdateStmt,
+                    DeleteStmt,
+                ),
+            )
             or (isinstance(stmt, SelectStmt) and stmt.into is not None)
         )
         if (
@@ -279,6 +292,10 @@ class Database:
                     result = self._execute_insert_values(stmt)
                 elif isinstance(stmt, InsertSelectStmt):
                     result = self._execute_insert_select(stmt, mode=mode)
+                elif isinstance(stmt, UpdateStmt):
+                    result = self._execute_update(stmt)
+                elif isinstance(stmt, DeleteStmt):
+                    result = self._execute_delete(stmt)
                 else:
                     result = self._execute_select(stmt, mode=mode)
                 if mutates:
@@ -332,7 +349,9 @@ class Database:
         """The table a statement mutates (None for a pure SELECT)."""
         if isinstance(stmt, CreateTableStmt):
             return stmt.name
-        if isinstance(stmt, (InsertValuesStmt, InsertSelectStmt)):
+        if isinstance(
+            stmt, (InsertValuesStmt, InsertSelectStmt, UpdateStmt, DeleteStmt)
+        ):
             return stmt.table
         if isinstance(stmt, SelectStmt) and stmt.into is not None:
             return stmt.into
@@ -393,11 +412,15 @@ class Database:
             with self._durability_guard(bool(targets)):
                 undo = Transaction(0)
                 pre_relations: dict[str, Relation] = {}
+                pre_deleted: dict[str, "np.ndarray"] = {}
                 with self._catalog_lock:
                     for name in targets:
                         if self.catalog.has_table(name):
                             relation = self.catalog.table(name)
                             pre_relations[name] = relation
+                            # Tombstones live beside the BATs, so the BAT
+                            # pre-images alone cannot unwind a DELETE.
+                            pre_deleted[name] = relation.deleted_positions()
                             for bat in relation.bats.values():
                                 undo.protect(bat)
                 results: list[QueryResult] = []
@@ -408,7 +431,7 @@ class Database:
                             self._dispatch_statement(stmt, sql, mode)
                         )
                 except BaseException:
-                    self._rollback_batch(undo, targets, pre_relations)
+                    self._rollback_batch(undo, targets, pre_relations, pre_deleted)
                     raise
                 finally:
                     self._in_transaction -= 1
@@ -426,6 +449,7 @@ class Database:
         undo: Transaction,
         targets: list[str],
         pre_relations: dict[str, Relation],
+        pre_deleted: dict[str, "np.ndarray"],
     ) -> None:
         """Undo a failed transaction batch (memory only; nothing was logged).
 
@@ -443,6 +467,10 @@ class Database:
                 lock.acquire()
                 held.append(lock)
             undo.rollback()
+            for name, relation in pre_relations.items():
+                # Restore the tombstone set alongside the BAT pre-images
+                # (a DELETE inside the aborted batch only added entries).
+                relation.set_deleted_positions(pre_deleted.get(name, ()))
         finally:
             for lock in reversed(held):
                 lock.release()
@@ -536,6 +564,77 @@ class Database:
             )
         self._plan_cache.invalidate_table(stmt.table)
         return QueryResult(columns=[], rows=[], affected=inserted)
+
+    def _dml_match_positions(
+        self, relation: Relation, plan: AnalyzedDML
+    ) -> np.ndarray:
+        """Storage positions of live rows satisfying a DML WHERE clause.
+
+        Evaluated vectorised over the base column arrays — never through
+        the cracker (the matcher must see updated values immediately,
+        and a DML statement should not crack as a side effect).
+        """
+        total = len(relation)
+        keep = relation.live_mask(total)
+        for predicate in plan.selections:
+            values = self._dml_column_values(relation, predicate.attr, total)
+            if predicate.low is not None:
+                keep &= (
+                    values >= predicate.low
+                    if predicate.low_inclusive
+                    else values > predicate.low
+                )
+            if predicate.high is not None:
+                keep &= (
+                    values <= predicate.high
+                    if predicate.high_inclusive
+                    else values < predicate.high
+                )
+        for residual in plan.residuals:
+            values = self._dml_column_values(relation, residual.attr, total)
+            keep &= values != residual.value
+        return np.flatnonzero(keep)
+
+    @staticmethod
+    def _dml_column_values(relation: Relation, attr: str, total: int):
+        bat = relation.column(attr)
+        if bat.tail_type == "str":
+            return np.asarray(bat.tail_values()[:total], dtype=object)
+        return bat.tail_array()[:total]
+
+    def _execute_update(self, stmt: UpdateStmt) -> QueryResult:
+        plan = analyze_dml(stmt, self.catalog)
+        relation = self.catalog.table(plan.table)
+        # Atomic match + in-place rewrite + cracker propagation, mirroring
+        # the insert path: a cracker created concurrently snapshots either
+        # the old or the new values, never a half-applied mix.
+        with relation.write_lock:
+            positions = self._dml_match_positions(relation, plan)
+            if positions.size:
+                relation.update_positions(
+                    positions,
+                    {
+                        column: [value] * len(positions)
+                        for column, value in plan.assignments
+                    },
+                )
+                if self._cracker is not None:
+                    self._cracker.propagate_update(
+                        plan.table, positions, dict(plan.assignments)
+                    )
+        self._plan_cache.invalidate_table(plan.table)
+        return QueryResult(columns=[], rows=[], affected=int(positions.size))
+
+    def _execute_delete(self, stmt: DeleteStmt) -> QueryResult:
+        plan = analyze_dml(stmt, self.catalog)
+        relation = self.catalog.table(plan.table)
+        with relation.write_lock:
+            positions = self._dml_match_positions(relation, plan)
+            affected = relation.delete_positions(positions)
+            if affected and self._cracker is not None:
+                self._cracker.propagate_delete(plan.table, positions)
+        self._plan_cache.invalidate_table(plan.table)
+        return QueryResult(columns=[], rows=[], affected=affected)
 
     def _execute_select(
         self,

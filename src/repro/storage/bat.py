@@ -277,6 +277,26 @@ class BAT:
         self._count -= 1
         self._invalidate_accelerators()
 
+    def set_many(self, positions: np.ndarray, values: Sequence) -> None:
+        """Overwrite the tail at ``positions`` with ``values`` (UPDATE path).
+
+        String values put new atoms into the heap; the old offsets stay
+        valid (the heap is put-only), so a transaction pre-image of the
+        tail alone is enough to roll an update back.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        tail = _as_tail_array(values, self.tail_type, self.heap)
+        if len(positions) != len(tail):
+            raise BATAlignmentError(
+                f"set_many got {len(positions)} positions but {len(tail)} values"
+            )
+        if positions.size and (positions.min() < 0 or positions.max() >= self._count):
+            raise StorageError(
+                f"set_many position out of range 0..{self._count - 1}"
+            )
+        self._tail[positions] = tail
+        self._invalidate_accelerators()
+
     def replace_tail(self, new_tail: np.ndarray) -> None:
         """Overwrite the active tail region (used by sort and cracking)."""
         if len(new_tail) != self._count:

@@ -93,6 +93,11 @@ class Relation:
         # lock-free: BAT appends publish the new count last, so a
         # concurrent scan sees either the pre- or post-insert snapshot.
         self.write_lock = threading.RLock()
+        # DELETE tombstones: sorted storage positions that are logically
+        # gone.  Oids are dense void heads referenced by the crackers, so
+        # storage is never compacted and oids are never reused — a deleted
+        # position simply stops being visible to scans.
+        self._deleted: np.ndarray = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -178,6 +183,73 @@ class Relation:
                 self.bats[column.name].append_many([row[i] for row in rows])
         return len(rows)
 
+    def delete_positions(self, positions: np.ndarray) -> int:
+        """Tombstone the rows at ``positions``; returns how many were live.
+
+        Idempotent per position: re-deleting a tombstoned row is a no-op
+        (and not counted).  Storage is untouched — visibility changes only.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return 0
+        with self.write_lock:
+            if positions.size and (
+                positions.min() < 0 or positions.max() >= len(self)
+            ):
+                raise StorageError(
+                    f"delete position out of range 0..{len(self) - 1}"
+                )
+            fresh = np.setdiff1d(positions, self._deleted)
+            if fresh.size:
+                self._deleted = np.union1d(self._deleted, fresh)
+            return int(fresh.size)
+
+    def update_positions(self, positions: np.ndarray, assignments: dict) -> int:
+        """Overwrite columns in place at ``positions`` (UPDATE path).
+
+        ``assignments`` maps column name -> per-row value array (aligned
+        with ``positions``).  Returns the row count touched.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size == 0:
+            return 0
+        with self.write_lock:
+            for name, values in assignments.items():
+                self.column(name).set_many(positions, values)
+        return int(positions.size)
+
+    @property
+    def deleted_count(self) -> int:
+        return int(self._deleted.size)
+
+    @property
+    def live_count(self) -> int:
+        """Visible rows: physical count minus tombstones."""
+        return len(self) - self.deleted_count
+
+    def deleted_positions(self) -> np.ndarray:
+        """Sorted tombstoned positions (a copy; snapshot/rollback payload)."""
+        return self._deleted.copy()
+
+    def set_deleted_positions(self, positions: np.ndarray) -> None:
+        """Replace the tombstone set (recovery and transaction rollback)."""
+        with self.write_lock:
+            self._deleted = np.unique(np.asarray(positions, dtype=np.int64))
+
+    def live_mask(self, total: int | None = None) -> np.ndarray:
+        """Boolean visibility mask over positions ``[0, total)``."""
+        if total is None:
+            total = len(self)
+        mask = np.ones(total, dtype=bool)
+        deleted = self._deleted
+        if deleted.size:
+            mask[deleted[deleted < total]] = False
+        return mask
+
+    def live_positions(self, total: int | None = None) -> np.ndarray:
+        """Storage positions of the visible rows, ascending."""
+        return np.flatnonzero(self.live_mask(total))
+
     # ------------------------------------------------------------------ #
     # Tuple access
     # ------------------------------------------------------------------ #
@@ -210,9 +282,13 @@ class Relation:
         return list(zip(*columns)) if columns else []
 
     def iter_rows(self) -> Iterator[tuple]:
-        """Tuple-at-a-time iteration (the row-store access path)."""
-        for position in range(len(self)):
-            yield self.row_at(position)
+        """Tuple-at-a-time iteration over the *visible* rows."""
+        if self.deleted_count == 0:
+            for position in range(len(self)):
+                yield self.row_at(position)
+            return
+        for position in self.live_positions():
+            yield self.row_at(int(position))
 
     def column_values(self, name: str) -> np.ndarray | list:
         """All decoded values of one column."""

@@ -64,7 +64,7 @@ class Scan(Operator):
 
 
 def relation_rows(relation: Relation) -> Iterator[tuple]:
-    """Yield all rows of a relation positionally (row-store access path)."""
+    """Yield the visible rows of a relation positionally (row-store path)."""
     arrays = []
     for column in relation.schema:
         bat = relation.bats[column.name]
@@ -72,6 +72,13 @@ def relation_rows(relation: Relation) -> Iterator[tuple]:
             arrays.append(bat.tail_values())
         else:
             arrays.append(bat.tail_array())
+    if relation.deleted_count:
+        total = min(len(a) for a in arrays) if arrays else 0
+        live = relation.live_positions(total)
+        arrays = [
+            [a[i] for i in live] if isinstance(a, list) else a[live]
+            for a in arrays
+        ]
     yield from zip(*arrays)
 
 

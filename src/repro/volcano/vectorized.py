@@ -184,6 +184,12 @@ class VecScan(VecOperator):
         # Row count from the gathered snapshot, not the live relation: a
         # concurrent insert may have grown the BATs since the gather.
         total = len(arrays[0]) if arrays else 0
+        if self.relation.deleted_count:
+            # DELETE tombstones: gather only the visible rows once, so
+            # downstream operators never see a dead tuple.
+            live = self.relation.live_positions(total)
+            arrays = [a[live] for a in arrays]
+            total = len(live)
         for start in range(0, total, self.batch_rows):
             stop = min(start + self.batch_rows, total)
             yield ColumnBatch(self.columns, [a[start:stop] for a in arrays])

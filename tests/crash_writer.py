@@ -1,8 +1,8 @@
 """Subprocess writer for the kill -9 crash-recovery test.
 
-Executes a deterministic workload (DDL + paced INSERT stream with
-interleaved cracking SELECTs) against a durable database until the
-parent test SIGKILLs it mid-WAL.  The workload generator lives here so
+Executes a deterministic workload (DDL + paced INSERT/UPDATE/DELETE
+stream with interleaved cracking SELECTs) against a durable database
+until the parent test SIGKILLs it mid-WAL.  The workload generator lives here so
 the parent can rebuild the exact statement sequence and verify the
 recovered database against an oracle replay of the durable prefix.
 """
@@ -17,8 +17,11 @@ def crash_workload(seed: int, n_statements: int = 20_000) -> list[str]:
     """The deterministic statement stream (identical for a given seed).
 
     One CREATE, then INSERTs of 1-3 rows with every seventh slot a
-    cracking SELECT.  Only the mutations are WAL-logged, so the durable
-    prefix of a crashed run is exactly the first K mutations in order.
+    cracking SELECT, every thirteenth a range UPDATE and every
+    seventeenth a narrow DELETE.  Only the mutations are WAL-logged, so
+    the durable prefix of a crashed run is exactly the first K mutations
+    in order — and replaying it must reproduce the updates and
+    tombstones, not just the appends.
     """
     import numpy as np
 
@@ -30,6 +33,19 @@ def crash_workload(seed: int, n_statements: int = 20_000) -> list[str]:
             low = int(rng.integers(0, 1000))
             statements.append(
                 f"SELECT count(*) FROM r WHERE a BETWEEN {low} AND {low + 80}"
+            )
+            continue
+        if i % 13 == 5:
+            low = int(rng.integers(0, 1000))
+            statements.append(
+                f"UPDATE r SET a = {int(rng.integers(0, 1000))} "
+                f"WHERE a BETWEEN {low} AND {low + 4}"
+            )
+            continue
+        if i % 17 == 9:
+            low = int(rng.integers(0, 1000))
+            statements.append(
+                f"DELETE FROM r WHERE a BETWEEN {low} AND {low + 2}"
             )
             continue
         values = ", ".join(

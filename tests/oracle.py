@@ -8,7 +8,7 @@ This module is the single place that knows how to:
 * build the standard engine configurations (:func:`make_databases`),
 * load identical randomized data into each (:func:`load_standard`),
 * generate randomized workloads (:func:`standard_query_suite`,
-  :func:`random_range_queries`),
+  :func:`random_range_queries`, read-write :func:`random_mixed_dml`),
 * compare result sets exactly (:func:`assert_rows_equal`) or as sorted
   sets (:func:`assert_sorted_rows_equal`, for configurations that answer
   in different physical orders), and
@@ -174,6 +174,79 @@ def random_range_queries(
                 f"SELECT r.tag, count(*) FROM r WHERE a > {low} GROUP BY r.tag"
             )
     return queries
+
+
+def random_mixed_dml(rng, n_statements: int, domain: int = 1000) -> list[str]:
+    """A randomized read-write workload: UPDATE and DELETE among the reads.
+
+    Roughly half the statements mutate — point and range UPDATEs (integer,
+    float and string assignments, including multi-column SET), narrow and
+    residual-filtered DELETEs, and fresh INSERTs whose rows later become
+    update/delete targets — and the other half are the order-free reads of
+    :func:`random_range_queries` that must observe every prior mutation
+    identically on every engine.  Delete windows are kept narrow so the
+    table never empties mid-workload.
+    """
+    statements: list[str] = []
+    next_k = 2_000_000  # above both the load and the insert key ranges
+    for _ in range(n_statements):
+        low = int(rng.integers(0, domain))
+        high = low + int(rng.integers(0, domain // 4))
+        shape = int(rng.integers(0, 10))
+        if shape == 0:  # point update on the key
+            statements.append(
+                f"UPDATE r SET a = {int(rng.integers(0, domain))} "
+                f"WHERE k = {int(rng.integers(0, 600))}"
+            )
+        elif shape == 1:  # range update of the cracked attribute itself
+            statements.append(
+                f"UPDATE r SET a = {int(rng.integers(0, domain))} "
+                f"WHERE a BETWEEN {low} AND {high}"
+            )
+        elif shape == 2:  # multi-column SET (float + varchar), residual
+            statements.append(
+                f"UPDATE r SET w = {round(float(rng.uniform(0, 10)), 3)}, "
+                f"tag = 't{int(rng.integers(0, 6))}' "
+                f"WHERE a >= {int(rng.integers(domain - 100, domain))} "
+                f"AND tag <> 't{int(rng.integers(0, 6))}'"
+            )
+        elif shape == 3:  # narrow range delete
+            statements.append(
+                f"DELETE FROM r "
+                f"WHERE a BETWEEN {low} AND {low + int(rng.integers(0, 10))}"
+            )
+        elif shape == 4:  # residual-filtered delete at the domain edge
+            statements.append(
+                f"DELETE FROM r WHERE a > {domain - int(rng.integers(5, 40))} "
+                f"AND tag = 't{int(rng.integers(0, 6))}'"
+            )
+        elif shape == 5:  # fresh rows: future update/delete targets
+            values = ", ".join(
+                f"({next_k + j}, {int(rng.integers(0, domain))}, "
+                f"{round(float(rng.uniform(0, 10)), 3)}, "
+                f"'t{int(rng.integers(0, 6))}')"
+                for j in range(int(rng.integers(1, 4)))
+            )
+            next_k += 10
+            statements.append(f"INSERT INTO r VALUES {values}")
+        elif shape == 6:
+            statements.append(
+                f"SELECT * FROM r WHERE a BETWEEN {low} AND {high}"
+            )
+        elif shape == 7:
+            statements.append(
+                f"SELECT count(*), sum(r.a) FROM r WHERE a < {high}"
+            )
+        elif shape == 8:
+            statements.append(
+                f"SELECT r.a, s.g FROM r, s WHERE r.k = s.k "
+                f"AND r.a BETWEEN {low} AND {high}"
+            )
+        else:
+            statements.append(
+                f"SELECT r.tag, count(*) FROM r WHERE a > {low} GROUP BY r.tag"
+            )
+    return statements
 
 
 # ---------------------------------------------------------------------- #

@@ -19,6 +19,7 @@ from oracle import (
     assert_engines_agree,
     load_standard,
     make_databases,
+    random_mixed_dml,
     random_range_queries,
 )
 
@@ -38,6 +39,25 @@ def test_all_engines_agree_on_random_workload(seed):
             columns = db.cracked_columns()
             assert columns, "sharded config never cracked"
             assert all(col.shard_count == 4 for col in columns.values())
+
+
+@pytest.mark.parametrize("seed", [11, 47, 83])
+def test_all_engines_agree_on_mixed_dml_workload(seed):
+    """UPDATE/DELETE interleaved with reads: every engine vs the scan oracle.
+
+    Exercises the pending-delete/pending-update buffers of every cracking
+    configuration (tombstone-aware merges, shard fan-out, bounded pieces)
+    against the row store, then proves the adaptive indexes survived the
+    write traffic intact.
+    """
+    databases = make_databases()
+    for db in databases.values():
+        load_standard(db, seed)
+    rng = np.random.default_rng(seed + 900)
+    workload = random_mixed_dml(rng, 60)
+    assert_engines_agree(databases, workload)
+    for db in databases.values():
+        db.check_invariants()
 
 
 @pytest.mark.parametrize("shards", [2, 3, 8])

@@ -33,6 +33,22 @@ class TestCommit:
         db = _loaded()
         assert db.execute_transaction([]) == []
 
+    def test_update_and_delete_apply(self):
+        db = _loaded()
+        results = db.execute_transaction([
+            "UPDATE r SET a = 500 WHERE a < 10",
+            "DELETE FROM r WHERE a BETWEEN 90 AND 100",
+            "SELECT count(*) FROM r WHERE a = 500",
+        ])
+        assert results[0].affected > 0
+        assert results[1].affected > 0
+        assert results[2].scalar() == results[0].affected
+        assert (
+            db.execute("SELECT count(*) FROM r").scalar()
+            == 101 - results[1].affected
+        )
+        db.check_invariants()
+
     def test_select_into_commits(self):
         db = _loaded()
         db.execute_transaction([
@@ -100,6 +116,78 @@ class TestAbort:
             "SELECT count(*) FROM r WHERE a BETWEEN 20 AND 60", mode="tuple"
         ).scalar()
 
+    def test_abort_restores_updates_and_deletes(self):
+        # The satellite: pre-image rollback must cover UPDATE (in-place
+        # BAT writes) and DELETE (tombstones) alongside inserts.
+        db = _loaded()
+        before = {
+            name: db.catalog.table("r").column(name).tail_array().copy()
+            for name in ("k", "a")
+        }
+        with pytest.raises(CatalogError):
+            db.execute_transaction([
+                "UPDATE r SET a = 999 WHERE a < 30",
+                "DELETE FROM r WHERE a BETWEEN 50 AND 70",
+                "INSERT INTO missing VALUES (1)",
+            ])
+        db.check_invariants()
+        assert db.execute("SELECT count(*) FROM r").scalar() == 101
+        assert db.execute("SELECT count(*) FROM r WHERE a = 999").scalar() == 0
+        for name, image in before.items():
+            live = db.catalog.table("r").column(name).tail_array()
+            assert live.tobytes() == image.tobytes()
+        # Oracle equality after abort: the aborted batch left no trace, so
+        # a row store that never saw it answers identically.
+        oracle = Database(cracking=False)
+        oracle.execute("CREATE TABLE r (k integer, a integer)")
+        rows = ", ".join(f"({i}, {(i * 37) % 101})" for i in range(101))
+        oracle.execute(f"INSERT INTO r VALUES {rows}")
+        for q in (
+            "SELECT count(*), sum(r.a) FROM r WHERE a BETWEEN 0 AND 100",
+            "SELECT count(*) FROM r WHERE a < 30",
+        ):
+            assert db.execute(q).rows == oracle.execute(q).rows, q
+
+    def test_abort_after_query_merged_pending_dml(self):
+        # The hard case for the drop-and-rebuild: DELETE and UPDATE are
+        # buffered on the cracker, a SELECT inside the batch merges them
+        # into the pieces (remove_shift + re-queued inserts), and THEN
+        # the batch fails.  Base BATs, tombstones and the cracker must
+        # all come back to the pre-transaction state.
+        db = _loaded()
+        with pytest.raises(CatalogError):
+            db.execute_transaction([
+                "DELETE FROM r WHERE a BETWEEN 40 AND 60",
+                "UPDATE r SET a = 7 WHERE a > 90",
+                "SELECT count(*) FROM r WHERE a BETWEEN 0 AND 100",  # merge
+                "INSERT INTO missing VALUES (1)",
+            ])
+        db.check_invariants()
+        assert db.catalog.table("r").deleted_count == 0
+        assert db.execute("SELECT count(*) FROM r").scalar() == 101
+        assert db.execute(
+            "SELECT count(*) FROM r WHERE a BETWEEN 40 AND 60"
+        ).scalar() == db.execute(
+            "SELECT count(*) FROM r WHERE a BETWEEN 40 AND 60", mode="tuple"
+        ).scalar()
+
+    def test_sharded_abort_with_dml_keeps_invariants(self):
+        db = Database(cracking=True, shards=4, mode="vector")
+        db.execute("CREATE TABLE r (k integer, a integer)")
+        rows = ", ".join(f"({i}, {(i * 53) % 211})" for i in range(400))
+        db.execute(f"INSERT INTO r VALUES {rows}")
+        db.execute("SELECT count(*) FROM r WHERE a BETWEEN 50 AND 150")
+        with pytest.raises(ReproError):
+            db.execute_transaction([
+                "DELETE FROM r WHERE a < 20",
+                "UPDATE r SET a = 100 WHERE a > 200",
+                "SELECT count(*) FROM r WHERE a BETWEEN 0 AND 211",  # merge
+                "INSERT INTO missing VALUES (1)",
+            ])
+        db.check_invariants()
+        assert db.execute("SELECT count(*) FROM r").scalar() == 400
+        assert db.execute("SELECT count(*) FROM r WHERE a < 20").scalar() > 0
+
     def test_select_into_replacement_is_restored(self):
         db = _loaded()
         db.execute("SELECT * INTO target FROM r WHERE a BETWEEN 0 AND 50")
@@ -154,6 +242,21 @@ class TestDurability:
             stats = recovered.persistence_stats()
             assert stats["recovery_wal_statements_replayed"] == 3
             assert recovered.execute("SELECT count(*) FROM r").scalar() == 3
+
+    def test_committed_dml_replays(self, tmp_path):
+        store = tmp_path / "store"
+        with Database(cracking=True, persist_dir=store) as db:
+            db.execute_transaction([
+                "CREATE TABLE r (k integer, a integer)",
+                "INSERT INTO r VALUES (1, 10), (2, 20), (3, 30)",
+                "UPDATE r SET a = 99 WHERE k = 2",
+                "DELETE FROM r WHERE a = 10",
+            ])
+        with Database(cracking=True, persist_dir=store) as recovered:
+            assert recovered.execute("SELECT count(*) FROM r").scalar() == 2
+            rows = recovered.execute("SELECT k, a FROM r").rows
+            assert sorted(rows) == [(2, 99), (3, 30)]
+            recovered.check_invariants()
 
     def test_closed_store_refuses_transactions(self, tmp_path):
         db = Database(cracking=True, persist_dir=tmp_path / "store")

@@ -1,8 +1,8 @@
 """Crash-recovery smoke: kill -9 a writer mid-WAL, recover, verify.
 
 The writer subprocess (:mod:`crash_writer`) runs a deterministic
-DDL/INSERT/SELECT stream against a durable database (fsync per
-statement, auto-checkpoint every 200 statements).  The test SIGKILLs it
+DDL/INSERT/UPDATE/DELETE/SELECT stream against a durable database
+(fsync per statement, auto-checkpoint every 200 statements).  The test SIGKILLs it
 mid-stream, recovers the directory, and verifies the recovered database
 against the cross-engine oracle: a non-cracking row-store replay of
 exactly the durable statement prefix must produce identical result
@@ -92,6 +92,12 @@ class TestCrashRecovery:
         recovered = Database(cracking=True, persist_dir=state)
         recovered.check_invariants()
         _verify_against_oracle(recovered, seed)
+        # The durable prefix must have exercised the DML WAL records —
+        # the kill lands well past the first update/delete slots.
+        durable = recovered.persistence_stats()["durable_statements"]
+        prefix = [s for s in crash_workload(seed) if is_mutation(s)][:durable]
+        assert any(s.startswith("UPDATE") for s in prefix)
+        assert any(s.startswith("DELETE") for s in prefix)
         # The recovered store keeps working durably: write, restart, read.
         recovered.execute("INSERT INTO r VALUES (999991, 5, 0.5, 'zz')")
         after = recovered.execute("SELECT count(*) FROM r").scalar()

@@ -107,6 +107,27 @@ class TestCacheBehaviour:
         assert stats["hits"] == hits_before
         assert stats["invalidations"] >= 3  # create + load + insert
 
+    def test_delete_invalidates(self):
+        # The satellite regression: a cached COUNT(*) must not serve the
+        # pre-DELETE cardinality.  The epoch bump routes through
+        # invalidate_table exactly like INSERT.
+        db = small_db()
+        q = "SELECT count(*) FROM r WHERE a BETWEEN 0 AND 99"
+        before = db.execute(q).scalar()
+        db.execute(q)  # cached now
+        affected = db.execute("DELETE FROM r WHERE a < 10").affected
+        assert affected > 0
+        assert db.execute(q).scalar() == before - affected
+
+    def test_update_invalidates(self):
+        db = small_db()
+        q = "SELECT count(*) FROM r WHERE a BETWEEN 90 AND 99"
+        before = db.execute(q).scalar()
+        db.execute(q)  # cached now
+        moved = db.execute("UPDATE r SET a = 95 WHERE a < 5").affected
+        assert moved > 0
+        assert db.execute(q).scalar() == before + moved
+
     def test_create_table_invalidates_name(self):
         db = Database()
         db.execute("CREATE TABLE t (v integer)")

@@ -18,8 +18,9 @@ import numpy as np
 import pytest
 
 from oracle import assert_sorted_rows_equal, load_standard, random_range_queries, standard_query_suite
-from repro.client import Client
+from repro.client import AsyncClient, Client, _statement_mutates
 from repro.errors import (
+    AmbiguousResultError,
     OverloadedError,
     RemoteError,
     ServerUnavailableError,
@@ -501,6 +502,128 @@ class TestReconnect:
         thread.stop()
         with pytest.raises(ServerUnavailableError):
             client.execute("SELECT 1 FROM nosuch")
+
+
+def _lose_next_reply(client: Client) -> None:
+    """Patch: the server processes the next request, but its reply is
+    'lost in flight' — read off the socket, then discarded while the
+    connection dies.  This is exactly the ambiguous window: the server
+    HAS applied the statement, the client cannot know.  One-shot."""
+    real = client._read_reply
+
+    def read_and_drop():
+        client._read_reply = real
+        real()  # the server's reply: applied server-side, never seen
+        client._close_socket()
+        raise ServerUnavailableError("simulated: connection died mid-reply")
+
+    client._read_reply = read_and_drop
+
+
+class TestRetryDiscipline:
+    """Mutations are never blindly retried; idempotent requests still are."""
+
+    def test_applied_mutation_raises_ambiguous_and_is_not_reapplied(self):
+        # The server applies the INSERT but the reply dies in flight.
+        # The old retry-once behaviour would reconnect, re-send, and
+        # double-apply (count == 3); the fix raises AmbiguousResultError
+        # and leaves the row applied exactly once.
+        with served() as (_, host, port, _thread):
+            client = Client(host, port)
+            try:
+                client.execute("CREATE TABLE r (k integer)")
+                client.execute("INSERT INTO r VALUES (1)")
+                _lose_next_reply(client)
+                with pytest.raises(AmbiguousResultError):
+                    client.execute("INSERT INTO r VALUES (2)")
+                # Best-effort reconnect already happened: the same client
+                # can run its own verification query and sees the single
+                # server-side apply.
+                assert client.execute("SELECT count(*) FROM r").scalar() == 2
+            finally:
+                client.close()
+
+    def test_unapplied_mutation_raises_ambiguous_after_server_bounce(self):
+        # Socket-killing flavour: the server dies under the request, so
+        # the mutation was never applied — the client still cannot know
+        # that, so it must raise rather than guess.
+        database = Database(cracking=True, concurrent=True)
+        thread = ServerThread(database)
+        host, port = thread.start()
+        client = Client(host, port, retry_delay=0.1, max_retries=10)
+        client.execute("CREATE TABLE r (k integer)")
+        client.execute("INSERT INTO r VALUES (1)")
+        thread.stop()
+        thread2 = ServerThread(database, port=port)
+        thread2.start()
+        try:
+            with pytest.raises(AmbiguousResultError):
+                client.execute("DELETE FROM r WHERE k = 1")
+            # Not applied, not retried: the row is still there, and the
+            # reconnected session keeps working.
+            assert client.execute("SELECT count(*) FROM r").scalar() == 1
+        finally:
+            client.close()
+            thread2.stop()
+
+    def test_select_is_still_transparently_retried(self):
+        with served() as (_, host, port, _thread):
+            client = Client(host, port)
+            try:
+                client.execute("CREATE TABLE r (k integer)")
+                client.execute("INSERT INTO r VALUES (1), (2)")
+                _lose_next_reply(client)
+                # Idempotent: reconnect + retry-once, no exception.
+                assert client.execute("SELECT count(*) FROM r").scalar() == 2
+            finally:
+                client.close()
+
+    def test_async_client_mutation_raises_ambiguous(self):
+        database = Database(cracking=True, concurrent=True)
+        thread = ServerThread(database)
+        host, port = thread.start()
+
+        async def scenario():
+            client = await AsyncClient.connect(
+                host, port, retry_delay=0.1, max_retries=10
+            )
+            await client.execute("CREATE TABLE r (k integer)")
+            await client.execute("INSERT INTO r VALUES (1)")
+            thread.stop()
+            thread2 = ServerThread(database, port=port)
+            thread2.start()
+            try:
+                with pytest.raises(AmbiguousResultError):
+                    await client.execute("UPDATE r SET k = 9 WHERE k = 1")
+                result = await client.execute("SELECT count(*) FROM r")
+                assert result.scalar() == 1
+            finally:
+                await client.close()
+                thread2.stop()
+
+        asyncio.run(scenario())
+
+    def test_statement_classification(self):
+        mutating = [
+            "INSERT INTO r VALUES (1)",
+            "update r set k = 1",
+            "DELETE FROM r WHERE k = 1",
+            "CREATE TABLE r (k integer)",
+            "DROP TABLE r",
+            "  -- leading comment\n  UPDATE r SET k = 1",
+            "SELECT k FROM r INTO t",
+            "select k from r\ninto t",
+            "FROBNICATE r",  # unknown verbs are conservatively mutations
+        ]
+        for sql in mutating:
+            assert _statement_mutates(sql), sql
+        idempotent = [
+            "SELECT count(*) FROM r",
+            "select k from r where tag = 'into'",  # INTO inside a string
+            "  -- comment\nSELECT k FROM r LIMIT 5",
+        ]
+        for sql in idempotent:
+            assert not _statement_mutates(sql), sql
 
 
 class TestGracefulShutdown:

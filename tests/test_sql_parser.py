@@ -9,10 +9,12 @@ from repro.sql.ast_nodes import (
     ColRef,
     Comparison,
     CreateTableStmt,
+    DeleteStmt,
     InsertSelectStmt,
     InsertValuesStmt,
     SelectStmt,
     Star,
+    UpdateStmt,
 )
 from repro.sql.parser import parse
 
@@ -133,3 +135,41 @@ class TestCreateInsert:
     def test_unknown_statement_rejected(self):
         with pytest.raises(SQLSyntaxError):
             parse("DROP TABLE r")
+
+
+class TestUpdateDelete:
+    def test_update_single_assignment(self):
+        stmt = parse("UPDATE r SET a = 5 WHERE k = 1")
+        assert isinstance(stmt, UpdateStmt)
+        assert stmt.table == "r"
+        assert [(a.column, a.value.value) for a in stmt.assignments] == [("a", 5)]
+        assert len(stmt.where) == 1
+
+    def test_update_multi_assignment_and_types(self):
+        stmt = parse("UPDATE r SET a = 5, w = 1.5, tag = 'x'")
+        assert [(a.column, a.value.value) for a in stmt.assignments] == [
+            ("a", 5), ("w", 1.5), ("tag", "x"),
+        ]
+        assert stmt.where == []
+
+    def test_update_duplicate_column_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("UPDATE r SET a = 1, a = 2")
+
+    def test_update_requires_set(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("UPDATE r a = 1")
+
+    def test_delete_with_where(self):
+        stmt = parse("DELETE FROM r WHERE a BETWEEN 1 AND 5 AND tag <> 'x'")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.table == "r"
+        assert len(stmt.where) == 2
+
+    def test_delete_all_rows(self):
+        stmt = parse("DELETE FROM r")
+        assert stmt.where == []
+
+    def test_delete_requires_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("DELETE r WHERE a = 1")

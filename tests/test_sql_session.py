@@ -48,6 +48,68 @@ class TestDDLAndDML:
         assert db.execute("SELECT count(*) FROM t").scalar() == 1
 
 
+class TestUpdateDelete:
+    def test_update_affected_and_visible(self, db):
+        result = db.execute("UPDATE r SET a = 1000 WHERE a BETWEEN 1 AND 10")
+        assert result.affected == 10
+        assert db.execute("SELECT count(*) FROM r WHERE a = 1000").scalar() == 10
+        assert db.execute("SELECT count(*) FROM r WHERE a BETWEEN 1 AND 10").scalar() == 0
+        db.check_invariants()
+
+    def test_update_sees_prior_updates(self, db):
+        # The second UPDATE's WHERE must observe the first one's writes.
+        db.execute("UPDATE r SET a = 2000 WHERE a = 1")
+        assert db.execute("UPDATE r SET a = 3000 WHERE a = 2000").affected == 1
+        assert db.execute("SELECT count(*) FROM r WHERE a = 3000").scalar() == 1
+
+    def test_delete_affected_and_invisible(self, db):
+        before = db.execute("SELECT count(*) FROM r").scalar()
+        result = db.execute("DELETE FROM r WHERE a BETWEEN 1 AND 25")
+        assert result.affected == 25
+        assert db.execute("SELECT count(*) FROM r").scalar() == before - 25
+        assert db.execute("SELECT * FROM r WHERE a BETWEEN 1 AND 25").row_count == 0
+        db.check_invariants()
+
+    def test_delete_then_insert_keeps_rows_distinct(self, db):
+        db.execute("DELETE FROM r WHERE a = 5")
+        db.execute("INSERT INTO r VALUES (901, 5)")
+        rows = db.execute("SELECT k, a FROM r WHERE a = 5").rows
+        assert rows == [(901, 5)]
+        db.check_invariants()
+
+    def test_delete_all_rows(self, db):
+        assert db.execute("DELETE FROM r").affected == 500
+        assert db.execute("SELECT count(*) FROM r").scalar() == 0
+        db.check_invariants()
+
+    def test_update_string_column(self):
+        db = Database(cracking=True)
+        db.execute("CREATE TABLE t (x integer, tag varchar)")
+        db.execute("INSERT INTO t VALUES (1, 'old'), (2, 'old'), (3, 'keep')")
+        assert db.execute("UPDATE t SET tag = 'new' WHERE x < 3").affected == 2
+        assert sorted(db.execute("SELECT tag FROM t").rows) == [
+            ("keep",), ("new",), ("new",),
+        ]
+
+    def test_update_float_coercion(self):
+        db = Database(cracking=True)
+        db.execute("CREATE TABLE t (w float)")
+        db.execute("INSERT INTO t VALUES (1.5)")
+        db.execute("UPDATE t SET w = 2")  # int literal into a float column
+        assert db.execute("SELECT w FROM t").scalar() == 2.0
+
+    def test_dml_errors(self, db):
+        with pytest.raises(SQLAnalysisError):
+            db.execute("DELETE FROM missing")
+        with pytest.raises(SQLAnalysisError):
+            db.execute("UPDATE r SET nosuch = 1")
+        with pytest.raises(SQLAnalysisError):
+            db.execute("UPDATE r SET a = 'text'")  # str into int column
+        with pytest.raises(SQLAnalysisError):
+            # DML WHERE is single-table: no column-to-column comparisons.
+            db.execute("DELETE FROM r WHERE k = a AND k = k")
+
+
 class TestSelects:
     def test_range_count(self, db):
         assert db.execute("SELECT count(*) FROM r WHERE a BETWEEN 1 AND 100").scalar() == 100

@@ -38,6 +38,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.benchmark.meta import collect_meta
 from repro.sql import Database
 from repro.storage.table import Column, Relation, Schema
 
@@ -200,6 +201,7 @@ def main(n_rows: int = FULL_ROWS, result_path: Path = RESULT_PATH) -> dict:
             )
         report[phase] = {"statements": BURST_STATEMENTS, **results}
 
+    report["meta"] = collect_meta()
     result_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {result_path}")
     return report

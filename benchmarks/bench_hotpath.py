@@ -37,6 +37,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.benchmark.meta import collect_meta
 from repro.sql import Database
 from repro.storage.table import Column, Relation, Schema
 
@@ -207,6 +208,7 @@ def main(n_rows: int = FULL_ROWS, result_path: Path = RESULT_PATH) -> dict:
         f"sustained speedup vs seed path: cached {report['sustained']['speedup_cached']}x, "
         f"prepared {report['sustained']['speedup_prepared']}x  (bar: >= 5x)"
     )
+    report["meta"] = collect_meta()
     result_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {result_path}")
     return report

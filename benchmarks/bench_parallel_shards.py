@@ -23,6 +23,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.benchmark.meta import collect_meta
 from repro.benchmark.tapestry import DBtapestry
 from repro.engines import ShardedCrackedEngine, VectorizedCrackedEngine
 
@@ -138,6 +139,7 @@ def main(
             speedup = f"  ({baseline / best:.2f}x vs 1-col vector)" if baseline else ""
             print(f"  {label:>14}: {best * 1000:9.2f} ms{speedup}")
         report["phases"][phase_name] = {"queries": len(ranges), "results": results}
+    report["meta"] = collect_meta()
     result_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {result_path}")
     return report

@@ -39,6 +39,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.benchmark.meta import collect_meta
 from repro.sql import Database
 from repro.storage.table import Column, Relation, Schema
 
@@ -168,6 +169,7 @@ def main(n_rows: int = FULL_ROWS, result_path: Path = RESULT_PATH) -> dict:
     report["speedup_warm"] = round(speedup, 3)
     print(f"cold rebuild: first batch {cold_wall * 1000:9.2f} ms")
     print(f"warm-restart speedup on first batch: {speedup:.2f}x  (bar: >= 2x)")
+    report["meta"] = collect_meta()
     result_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {result_path}")
     return report

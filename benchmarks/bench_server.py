@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.benchmark.meta import collect_meta
 from repro.client import Client
 from repro.server import ServerThread
 from repro.sql import Database
@@ -274,6 +275,7 @@ def main(n_rows: int = FULL_ROWS, result_path: Path = RESULT_PATH) -> dict:
         f"{report['burn_in']['final_pieces']} pieces"
     )
 
+    report["meta"] = collect_meta()
     result_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {result_path}")
     return report

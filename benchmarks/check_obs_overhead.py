@@ -1,0 +1,85 @@
+"""No-regression guard: observability must be ~free on the hot path.
+
+The observability layer promises that with tracing off (the default),
+the per-statement cost is one monotonic-clock pair, a statement-kind
+lookup, and a cached histogram observe — and that ``metrics=False``
+removes even that.  This script measures the sustained cached-query
+loop (the same shape as ``bench_hotpath``'s sustained phase) on two
+otherwise identical databases and fails if the instrumented run is more
+than ``MAX_RATIO`` times the uninstrumented one.
+
+Run it directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/check_obs_overhead.py
+
+Exit status 0 = within bound, 1 = regression.  The bound is deliberately
+loose (noise on shared CI runners dwarfs the real delta, which is in the
+single-digit microseconds); catching a 2x regression — say, an
+accidental span allocation on the default path — is the point.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.sql import Database  # noqa: E402
+
+N_ROWS = 20_000
+QUERIES = 3_000
+ROUNDS = 5
+MAX_RATIO = 1.5
+
+
+def build(**kwargs) -> Database:
+    db = Database(cracking=True, mode="vector", **kwargs)
+    db.execute("CREATE TABLE r (k integer, a integer)")
+    values = ", ".join(f"({i}, {(i * 37) % N_ROWS})" for i in range(N_ROWS))
+    db.execute(f"INSERT INTO r VALUES {values}")
+    # Converge the cracker + warm the plan cache so the loop measures
+    # the pure dispatch path, not index construction.
+    for low in range(0, N_ROWS, N_ROWS // 64):
+        db.execute(
+            f"SELECT count(*) FROM r WHERE a BETWEEN {low} AND {low + 50}"
+        )
+    return db
+
+
+def sustained(db: Database) -> float:
+    """Best-of-ROUNDS wall time of the cached-query loop (seconds)."""
+    sql = "SELECT count(*) FROM r WHERE a BETWEEN 100 AND 150"
+    db.execute(sql)  # prime the exact-match plan cache
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(QUERIES):
+            db.execute(sql)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    base = sustained(build(metrics=False))
+    instrumented = sustained(build())
+    ratio = instrumented / base if base else float("inf")
+    per_query_us = (instrumented - base) / QUERIES * 1e6
+    print(
+        f"sustained loop: metrics off {base * 1000:.2f} ms, "
+        f"on {instrumented * 1000:.2f} ms "
+        f"(ratio {ratio:.3f}, ~{per_query_us:+.2f} us/query)"
+    )
+    if ratio > MAX_RATIO:
+        print(
+            f"FAIL: observability overhead ratio {ratio:.3f} exceeds "
+            f"{MAX_RATIO} — the default path is no longer ~free",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: within the {MAX_RATIO}x bound")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,8 @@ Public API highlights:
   stage between analyzer and optimizer;
 * :mod:`repro.server` / :mod:`repro.client` — the network service
   layer: asyncio TCP server, JSON wire protocol, sync + async clients;
+* :mod:`repro.obs` — observability: metrics registry, span tracing,
+  EXPLAIN ANALYZE plumbing, Prometheus text exposition;
 * :mod:`repro.experiments` — one module per paper figure.
 """
 

@@ -10,6 +10,8 @@ Usage::
     python -m repro snapshot ./state     # checkpoint a durable store
     python -m repro restore ./state      # recover + verify a durable store
     python -m repro serve --port 7744 --persist-dir ./state   # SQL server
+    python -m repro stats 127.0.0.1:7744   # live server metrics (--raw for
+                                           # the Prometheus exposition)
 """
 
 from __future__ import annotations
@@ -325,6 +327,104 @@ def run_restore(argv: list[str]) -> int:
     return 0
 
 
+def run_stats(argv: list[str]) -> int:
+    """The ``stats`` subcommand: render a live server's observability surface.
+
+    Fetches the STATS payload (the engine's unified :meth:`Database.stats`
+    dict plus gateway/server/session counters) and renders the pieces an
+    operator reaches for first: per-statement-kind latency quantiles,
+    cracker piece counts, and the admission/backpressure gauges.
+    ``--raw`` dumps the Prometheus-style METRICS exposition instead —
+    the machine-readable form a scraper would ingest.
+    """
+    from repro.client import Client
+    from repro.errors import ReproError
+
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Show a running repro server's metrics and latency "
+        "histograms (or the raw Prometheus exposition with --raw).",
+    )
+    parser.add_argument(
+        "address", help="server address as host:port (e.g. 127.0.0.1:7744)"
+    )
+    parser.add_argument(
+        "--raw", action="store_true",
+        help="print the Prometheus text exposition instead of the summary",
+    )
+    args = parser.parse_args(argv)
+    host, _, port_text = args.address.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"address must be host:port, got {args.address!r}")
+    try:
+        with Client(host, int(port_text)) as client:
+            if args.raw:
+                print(client.metrics(), end="")
+                return 0
+            stats = client.stats()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    server = stats.get("server", {})
+    gateway = stats.get("gateway", {})
+    print(
+        f"server: {server.get('connections', '?')} connection(s) "
+        f"(accepted {server.get('accepted', '?')}, "
+        f"refused {server.get('refused', '?')}, "
+        f"queue depth {server.get('queue_depth', '?')})"
+    )
+    print(
+        f"gateway: {gateway.get('executed', '?')} executed, "
+        f"{gateway.get('pending', '?')} pending "
+        f"(peak {gateway.get('peak_pending', '?')}), "
+        f"{gateway.get('rejected', '?')} rejected, "
+        f"{gateway.get('timeouts', '?')} timed out"
+    )
+    for name, rows in sorted(stats.get("tables", {}).items()):
+        print(f"  table {name}: {rows} rows")
+    detail = stats.get("cracker_detail", {})
+    for name, pieces in sorted(stats.get("crackers", {}).items()):
+        info = detail.get(name, {})
+        extras = ""
+        if info:
+            extras = (
+                f" ({info.get('cracks', 0)} cracks, "
+                f"{info.get('pending_inserts', 0)}+"
+                f"{info.get('pending_deletes', 0)}+"
+                f"{info.get('pending_updates', 0)} pending i/d/u)"
+            )
+        print(f"  cracker {name}: {pieces} pieces{extras}")
+    histograms = stats.get("metrics", {}).get("histograms", {})
+    latencies = histograms.get("repro_statement_seconds", {})
+    if latencies:
+        print("statement latency (ms):")
+        for label, snap in sorted(latencies.items()):
+            kind = label.partition("=")[2] or label or "all"
+            print(
+                f"  {kind:<8} n={snap['count']:<6} "
+                f"p50={snap['p50'] * 1e3:.3f} "
+                f"p95={snap['p95'] * 1e3:.3f} "
+                f"p99={snap['p99'] * 1e3:.3f} "
+                f"max={snap['max'] * 1e3:.3f}"
+            )
+    cache = stats.get("plan_cache", {})
+    if cache:
+        print(
+            f"plan cache: {cache.get('hits', 0)} exact hits, "
+            f"{cache.get('template_hits', 0)} template hits, "
+            f"{cache.get('misses', 0)} misses"
+        )
+    persistence = stats.get("persistence", {})
+    if persistence.get("persistent"):
+        print(
+            f"persistence: generation {persistence.get('generation')}, "
+            f"{persistence.get('durable_statements')} durable statements, "
+            f"WAL {persistence.get('wal_bytes')} bytes"
+        )
+    return 0
+
+
 def run_serve(argv: list[str]) -> int:
     """The ``serve`` subcommand: expose a database over TCP.
 
@@ -530,6 +630,7 @@ def main(argv: list[str] | None = None) -> int:
         print("     python -m repro snapshot <persist_dir>")
         print("     python -m repro restore <persist_dir> [-e 'SQL...']")
         print("     python -m repro serve [--port N] [--persist-dir DIR]")
+        print("     python -m repro stats <host:port> [--raw]")
         return 0
     target, *rest = argv
     if target == "sql":
@@ -538,6 +639,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_bench(rest)
     if target == "serve":
         return run_serve(rest)
+    if target == "stats":
+        return run_stats(rest)
     if target == "snapshot":
         return run_snapshot(rest)
     if target == "restore":

@@ -514,6 +514,11 @@ class Client(_ClientCore):
     def stats(self) -> dict:
         return _check_reply(self._request({"type": "stats"}), "stats")["payload"]
 
+    def metrics(self) -> str:
+        """Prometheus-style text exposition of the server's metrics."""
+        reply = _check_reply(self._request({"type": "metrics"}), "metrics")
+        return reply["exposition"]
+
     def close(self) -> None:
         """Polite goodbye then socket close (idempotent)."""
         if self._sock is not None:
@@ -755,6 +760,13 @@ class AsyncClient(_ClientCore):
     async def stats(self) -> dict:
         reply = _check_reply(await self._request({"type": "stats"}), "stats")
         return reply["payload"]
+
+    async def metrics(self) -> str:
+        """Prometheus-style text exposition of the server's metrics."""
+        reply = _check_reply(
+            await self._request({"type": "metrics"}), "metrics"
+        )
+        return reply["exposition"]
 
     async def close(self) -> None:
         if self._writer is not None:

@@ -44,6 +44,7 @@ from repro.core.crack import (
 )
 from repro.core.cracker_index import CrackerIndex, Piece
 from repro.errors import CrackError
+from repro.obs import trace as obs_trace
 from repro.storage.bat import BAT
 
 #: Kernel selection for the ablation benchmark.
@@ -272,6 +273,36 @@ class CrackedColumn:
             or self._pending_delete_oids
             or self._pending_update_oids
         )
+
+    def observability(self) -> dict:
+        """One flat dict of this column's crack/query/pending accounting.
+
+        The per-column sample the observability layer exports (through
+        ``Database.stats()`` and the metrics registry's collectors):
+        piece count and size distribution, cumulative crack work, query
+        counters and the depths of the three pending buffers.  Caller
+        holds whatever lock guards this column.
+        """
+        sizes = self.index.piece_sizes()
+        return {
+            "pieces": self.piece_count,
+            "tuples": len(self.values),
+            "cracks": self.crack_stats.cracks,
+            "tuples_touched": self.crack_stats.tuples_touched,
+            "tuples_moved": self.crack_stats.tuples_moved,
+            "queries": self.query_stats.queries,
+            "pieces_inspected": self.query_stats.pieces_inspected,
+            "tuples_scanned": self.query_stats.tuples_scanned,
+            "merged_updates": self.query_stats.merged_updates,
+            "pending_inserts": self.pending_count,
+            "pending_deletes": self.pending_delete_count,
+            "pending_updates": self.pending_update_count,
+            "piece_tuples": {
+                "min": min(sizes) if sizes else 0,
+                "max": max(sizes) if sizes else 0,
+                "mean": sum(sizes) / len(sizes) if sizes else 0.0,
+            },
+        }
 
     # ------------------------------------------------------------------ #
     # Snapshot copy-on-write
@@ -591,6 +622,26 @@ class CrackedColumn:
         return applied
 
     def _merge_pending(self) -> None:
+        """Fold the pending buffers into the pieces, if any exist.
+
+        The guard is the per-query fast path (one bool over three
+        lists); the work happens in :meth:`_merge_pending_now`, wrapped
+        in a ``pending_merge`` span when a trace is active.
+        """
+        if not self.has_pending:
+            return
+        if not obs_trace.tracing():
+            self._merge_pending_now()
+            return
+        with obs_trace.span(
+            "pending_merge",
+            inserts=self.pending_count,
+            deletes=self.pending_delete_count,
+            updates=self.pending_update_count,
+        ):
+            self._merge_pending_now()
+
+    def _merge_pending_now(self) -> None:
         """Fold pending tuples into their pieces, preserving all invariants.
 
         Three phases, all vectorised over the index's boundary arrays:
@@ -651,9 +702,16 @@ class CrackedColumn:
 
     def _merge_removals(self) -> None:
         """Phase 1+2 of the merge: take deleted/updated rows out of storage
-        and re-queue updated rows as pending inserts with their new value."""
+        and re-queue updated rows as pending inserts with their new value.
+
+        Wrapped in a ``tombstone_merge`` span when traced (this is the
+        write-path cost a DELETE/UPDATE defers onto the next query)."""
         if not (self._pending_delete_oids or self._pending_update_oids):
             return
+        with obs_trace.span("tombstone_merge"):
+            self._merge_removals_now()
+
+    def _merge_removals_now(self) -> None:
         delete_oids = (
             np.concatenate(self._pending_delete_oids)
             if self._pending_delete_oids

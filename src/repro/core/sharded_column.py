@@ -267,6 +267,47 @@ class ShardedCrackedColumn:
         shard = self.shards[0]
         return shard.values.itemsize + shard.oids.itemsize
 
+    def observability(self) -> dict:
+        """Aggregated per-column accounting plus the shard breakdown.
+
+        Sums every shard's
+        :meth:`~repro.core.cracked_column.CrackedColumn.observability`
+        sample (each read under its shard lock) and adds the sharding
+        view: per-shard piece/tuple counts and ``shard_imbalance`` —
+        max minus min tuples per shard, the load-skew gauge the strategy
+        advisor will watch.
+        """
+        per_shard: list[dict] = []
+        for lock, shard in zip(self._locks, self.shards):
+            with lock:
+                per_shard.append(shard.observability())
+        total = per_shard[0].copy()
+        total["piece_tuples"] = dict(total["piece_tuples"])
+        for info in per_shard[1:]:
+            for key, value in info.items():
+                if key == "piece_tuples":
+                    continue
+                total[key] += value
+            total["piece_tuples"]["min"] = min(
+                total["piece_tuples"]["min"], info["piece_tuples"]["min"]
+            )
+            total["piece_tuples"]["max"] = max(
+                total["piece_tuples"]["max"], info["piece_tuples"]["max"]
+            )
+        piece_total = sum(info["pieces"] for info in per_shard)
+        total["piece_tuples"]["mean"] = (
+            sum(info["pieces"] * info["piece_tuples"]["mean"] for info in per_shard)
+            / piece_total
+            if piece_total
+            else 0.0
+        )
+        shard_tuples = [info["tuples"] for info in per_shard]
+        total["shards"] = self.shard_count
+        total["shard_pieces"] = [info["pieces"] for info in per_shard]
+        total["shard_tuples"] = shard_tuples
+        total["shard_imbalance"] = max(shard_tuples) - min(shard_tuples)
+        return total
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

@@ -1,0 +1,52 @@
+"""Engine-wide observability: metrics registry and span tracing.
+
+Cracking's premise is that the index is a *side effect of running
+queries* (Kersten & Manegold, CIDR'05) — so the interesting state
+(pieces per column, cracks per query, pending-merge backlogs) only
+exists if the engine can narrate its own behaviour.  This package is
+that narration layer:
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges and
+  fixed-log-bucket latency histograms (p50/p95/p99 readouts) behind a
+  per-:class:`~repro.sql.session.Database` :class:`MetricsRegistry`,
+  with a Prometheus-style text exposition renderer;
+* :mod:`repro.obs.trace` — context-local span tracing over monotonic
+  clocks, instrumenting lex → parse → analyze → plan-cache → crack →
+  pending-merge → gather on the read path and WAL append/fsync,
+  checkpoint and tombstone merge on the write path.
+
+Surfaces built on top: ``EXPLAIN ANALYZE <stmt>`` (span tree as result
+rows), ``Database(slow_query_ms=...)`` (structured slow-query log),
+``Database.stats()`` (one nested dict unifying the formerly scattered
+stats accessors), the server's STATS/METRICS wire messages and the
+``repro stats <host:port>`` CLI.
+
+Everything is gated: with tracing off each instrumentation site costs
+one ContextVar read, and ``Database(metrics=False)`` switches even the
+per-statement histogram off.
+"""
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_exposition,
+)
+from repro.obs.trace import Span, annotate, current, span, start_span, tracing
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "annotate",
+    "current",
+    "render_exposition",
+    "span",
+    "start_span",
+    "tracing",
+]

@@ -32,6 +32,7 @@ import threading
 from pathlib import Path
 
 from repro.errors import PersistError
+from repro.obs import trace as obs_trace
 from repro.persist.snapshot import (
     _fsync_directory,
     load_snapshot,
@@ -242,7 +243,18 @@ class PersistentStore:
         ``CURRENT`` flipped atomically → append handle swapped → old
         generation swept.  A crash before the flip recovers generation N
         with its complete WAL; after the flip, generation N+1.
+
+        Traced as a ``checkpoint`` span (meta: the new generation and
+        how many WAL statements it compacted) when a trace is active.
         """
+        with obs_trace.span("checkpoint") as ck_span:
+            report = self._checkpoint(database)
+        if ck_span is not None:
+            ck_span.meta["generation"] = report["generation"]
+            ck_span.meta["statements_compacted"] = report["statements_compacted"]
+        return report
+
+    def _checkpoint(self, database) -> dict:
         with self._lock:
             if self.closed:
                 raise PersistError(

@@ -28,6 +28,7 @@ import zlib
 from pathlib import Path
 
 from repro.errors import PersistError
+from repro.obs import trace as obs_trace
 
 #: Frame header: little-endian payload length + CRC32 of the payload.
 _HEADER = struct.Struct("<II")
@@ -130,16 +131,18 @@ class StatementWAL:
                 f"limit ({MAX_RECORD_BYTES}); split the statement"
             )
         record = frame_record(payload)
-        with self._lock:
-            if self._handle.closed:
-                raise PersistError(f"WAL {self.path} is closed")
-            self._handle.write(record)
-            self._handle.flush()
-            self.appended += 1
-            self._since_sync += 1
-            if self.fsync_every and self._since_sync >= self.fsync_every:
-                os.fsync(self._handle.fileno())
-                self._since_sync = 0
+        with obs_trace.span("wal_append", bytes=len(record)):
+            with self._lock:
+                if self._handle.closed:
+                    raise PersistError(f"WAL {self.path} is closed")
+                self._handle.write(record)
+                self._handle.flush()
+                self.appended += 1
+                self._since_sync += 1
+                if self.fsync_every and self._since_sync >= self.fsync_every:
+                    with obs_trace.span("wal_fsync"):
+                        os.fsync(self._handle.fileno())
+                    self._since_sync = 0
 
     def sync(self) -> None:
         """Force an fsync now (checkpoint prologue)."""

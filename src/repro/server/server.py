@@ -199,13 +199,21 @@ class ReproServer:
         }
 
     def stats(self) -> dict:
-        """Server-level counters (merged into STATS replies)."""
+        """Server-level counters (merged into STATS replies).
+
+        ``queue_depth`` is the instantaneous sum of replies parked in
+        per-connection writer queues — the live backpressure signal the
+        METRICS exposition surfaces as a gauge.
+        """
         return {
             "connections": len(self._connections),
             "max_connections": self.max_connections,
             "accepted": self.accepted,
             "refused": self.refused,
             "draining": self._draining,
+            "queue_depth": sum(
+                conn.queue.qsize() for conn in self._connections.values()
+            ),
         }
 
     # ------------------------------------------------------------------ #

@@ -375,27 +375,20 @@ class ClientSession:
     # ------------------------------------------------------------------ #
 
     async def _on_stats(self, message: dict) -> dict:
+        """The full introspection payload, identical on v1 and v2.
+
+        Engine state comes from :meth:`Database.stats` (one nested dict:
+        tables, crackers + per-column detail, plan cache, persistence,
+        and the metrics registry snapshot with per-statement-kind
+        latency histograms); the session, gateway and server layers
+        each merge their own counters on top.  The payload is plain
+        JSON regardless of the negotiated protocol — only *result*
+        encoding differs between v1 and v2 — which is what the schema
+        parity regression test in ``tests/test_protocol_v2.py`` pins.
+        """
         database = self.database
-
-        def engine_snapshot() -> dict:
-            # Catalog iteration is engine work: off the event loop, and
-            # under the catalog lock so concurrent DDL cannot mutate the
-            # table dict mid-walk.
-            with database._catalog_lock:
-                tables = {
-                    name: len(database.catalog.table(name))
-                    for name in database.catalog.table_names()
-                }
-            return {
-                "crackers": {
-                    f"{table}.{attr}": column.piece_count
-                    for (table, attr), column in database.cracked_columns().items()
-                },
-                "tables": tables,
-                "plan_cache": database.plan_cache_stats(),
-                "persistence": database.persistence_stats(),
-            }
-
+        # Engine introspection is engine work: off the event loop (the
+        # catalog lock and per-column cracker locks are taken inside).
         payload = {
             "session": {
                 "id": self.session_id,
@@ -407,8 +400,32 @@ class ClientSession:
                 "in_transaction": self._txn is not None,
             },
             "gateway": self.gateway.stats(),
-            **(await self.gateway.run(engine_snapshot)),
+            **(await self.gateway.run(database.stats)),
         }
         if self.server_stats is not None:
             payload["server"] = self.server_stats()
         return {"type": "stats", "payload": payload}
+
+    async def _on_metrics(self, message: dict) -> dict:
+        """Prometheus-style text exposition of every metric layer.
+
+        The engine registry renders itself; gateway, server and
+        session-local counters join as extra gauge samples so one
+        scrape shows the whole process.
+        """
+        database = self.database
+        extra = [
+            (f"repro_gateway_{key}", None, value)
+            for key, value in self.gateway.stats().items()
+        ]
+        if self.server_stats is not None:
+            extra.extend(
+                (f"repro_server_{key}", None, value)
+                for key, value in self.server_stats().items()
+            )
+        extra.append(
+            ("repro_session_statements",
+             {"session": str(self.session_id)}, self.statements)
+        )
+        text = await self.gateway.run(database.metrics.render, extra=extra)
+        return {"type": "metrics", "exposition": text}

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.cracked_column import CrackedColumn
 from repro.core.rwlock import ReadWriteLock
+from repro.obs import trace as obs_trace
 from repro.core.sharded_column import ShardedCrackedColumn, ShardedSelectionResult
 from repro.errors import PlanError
 from repro.sql.analyzer import AnalyzedQuery, JoinPredicate, RangePredicate
@@ -267,8 +268,36 @@ class CrackerProvider:
         column serialise only on the shards they are both cracking at
         that instant, and snapshots happen inside each shard's critical
         section.
+
+        Under an active trace the whole call is wrapped in a ``crack``
+        span whose meta records the column, the piece count after the
+        query and the cracks this query performed; with tracing off the
+        cost is one ContextVar read.
         """
         column = self.column_for(relation, attr)
+        if not obs_trace.tracing():
+            return self._locked_select(
+                column, relation.name, attr, low, high,
+                low_inclusive, high_inclusive,
+            )
+        with obs_trace.span("crack") as crack_span:
+            crack_span.meta["column"] = f"{relation.name}.{attr}"
+            cracks_before = column.crack_stats.cracks
+            result = self._locked_select(
+                column, relation.name, attr, low, high,
+                low_inclusive, high_inclusive,
+            )
+            # Read without the column lock: trace meta is advisory, an
+            # exact-at-an-instant count is not worth re-serialising on.
+            crack_span.meta["cracks"] = column.crack_stats.cracks - cracks_before
+            crack_span.meta["pieces"] = column.piece_count
+        return result
+
+    def _locked_select(
+        self, column, table: str, attr: str, low, high,
+        low_inclusive: bool, high_inclusive: bool,
+    ):
+        """The locking core of :meth:`range_select`."""
         if isinstance(column, ShardedCrackedColumn):
             return column.range_select(
                 low,
@@ -277,7 +306,7 @@ class CrackerProvider:
                 high_inclusive=high_inclusive,
                 snapshot=self.snapshot_results,
             )
-        lock = self.lock_for(relation.name, attr)
+        lock = self.lock_for(table, attr)
         # Direct acquire/release: the contextmanager-based write_locked()
         # costs a generator frame per query, measurable on the sustained
         # hot path.
@@ -332,6 +361,21 @@ class CrackerProvider:
         """Snapshot of the registry (for monitoring and test validation)."""
         with self._registry_lock:
             return dict(self._columns)
+
+    def observability(self) -> dict[str, dict]:
+        """Per-column crack/pending/piece-size accounting, read-locked.
+
+        Keys are ``table.attr``; values come from each column's
+        :meth:`~repro.core.cracked_column.CrackedColumn.observability`
+        (sharded columns add per-shard counts and the imbalance gauge).
+        Taken under each column's read lock, so a concurrent query may
+        proceed on other columns while one is being read.
+        """
+        out: dict[str, dict] = {}
+        for (table, attr), column in self.columns().items():
+            with self.lock_for(table, attr).read_locked():
+                out[f"{table}.{attr}"] = column.observability()
+        return out
 
     def check_invariants(self) -> None:
         """Validate every cracked column (cheap; used by tests/monitors)."""

@@ -15,14 +15,18 @@ Example::
 
 from __future__ import annotations
 
+import re
 import threading
-from collections import OrderedDict
+import time
+from collections import OrderedDict, deque
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import PersistError, SQLAnalysisError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.sql.analyzer import AnalyzedDML, AnalyzedQuery, analyze, analyze_dml
 from repro.sql.ast_nodes import (
     CreateTableStmt,
@@ -68,6 +72,30 @@ def split_statements(script: str) -> list[str]:
     if text:
         statements.append(text)
     return statements
+
+
+#: ``EXPLAIN ANALYZE <stmt>`` prefix, intercepted before lexing — the
+#: words are not SQL keywords, so the parser never sees them.
+_EXPLAIN_ANALYZE = re.compile(r"^\s*explain\s+analyze\b\s*", re.IGNORECASE)
+
+#: First-keyword-letter → statement kind, for per-kind latency metrics.
+#: The grammar has exactly one statement verb per letter, so one char
+#: classifies without lexing (SELECT ... INTO still counts as select).
+_KIND_BY_CHAR = {
+    "s": "select",
+    "i": "insert",
+    "u": "update",
+    "d": "delete",
+    "c": "create",
+}
+
+
+def _statement_kind(sql: str) -> str:
+    """Cheap per-statement-kind classifier for the metrics hot path."""
+    for char in sql:
+        if not char.isspace():
+            return _KIND_BY_CHAR.get(char.lower(), "other")
+    return "other"
 
 
 @dataclass
@@ -137,7 +165,21 @@ class Database:
     ``checkpoint_statements`` / ``checkpoint_wal_bytes`` auto-compact
     the WAL into a fresh snapshot when either trigger fires, and
     :meth:`checkpoint` does so on demand.
+
+    Observability: ``metrics`` (default on) keeps per-statement-kind
+    latency histograms and cracker/plan-cache/persistence gauges in
+    :attr:`metrics` (a :class:`~repro.obs.metrics.MetricsRegistry`);
+    ``metrics=False`` turns even that off.  ``trace=True`` span-traces
+    every statement (:meth:`last_trace` returns the most recent tree);
+    ``EXPLAIN ANALYZE <stmt>`` traces one statement regardless and
+    returns the tree as result rows.  ``slow_query_ms`` logs every
+    statement slower than that threshold — with its span breakdown —
+    to :meth:`slow_query_log`.  :meth:`stats` bundles everything into
+    one nested dict (the STATS payload of the network server).
     """
+
+    #: Bound on the in-memory slow-query log (oldest entries drop).
+    SLOW_LOG_CAPACITY = 256
 
     def __init__(
         self,
@@ -152,6 +194,9 @@ class Database:
         wal_fsync_every: int = 64,
         checkpoint_statements: int | None = None,
         checkpoint_wal_bytes: int | None = None,
+        metrics: bool = True,
+        trace: bool = False,
+        slow_query_ms: float | None = None,
     ) -> None:
         if mode not in PLAN_MODES:
             raise SQLAnalysisError(
@@ -190,6 +235,18 @@ class Database:
         # logging and checkpoints are deferred until the batch commits.
         self._in_transaction = 0
         self._closed = False
+        # Observability: the registry always exists (disabled registries
+        # hand out no-op metrics), per-kind histograms are cached here so
+        # the hot path never does a registry lookup.
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.metrics.register_collector(self._collect_engine_samples)
+        self._metrics_on = metrics
+        self._trace_statements = trace
+        self._slow_query_ms = slow_query_ms
+        self._stmt_hists: dict[str, object] = {}
+        self._slow_log: deque = deque(maxlen=self.SLOW_LOG_CAPACITY)
+        self._slow_lock = threading.Lock()
+        self._last_trace = None
         # Durability: set up last, so recovery replays through a fully
         # initialised session.  _replaying suppresses re-logging while
         # the WAL tail re-executes.
@@ -218,22 +275,59 @@ class Database:
         a literal-only variant rebinds constants into the cached parse
         tree and re-runs only the analyzer; everything else compiles from
         scratch and primes both levels.
+
+        ``EXPLAIN ANALYZE <stmt>`` is intercepted here (the words are
+        not SQL keywords): the inner statement runs for real under a
+        span trace and the trace comes back as the result rows — see
+        :meth:`explain_analyze`.
+        """
+        # Cheap gate for the rare prefixed form: only statements that
+        # could possibly start with EXPLAIN pay the regex.
+        head = sql[:1]
+        if head == "e" or head == "E" or (head != "" and head.isspace()):
+            match = _EXPLAIN_ANALYZE.match(sql)
+            if match is not None:
+                return self.explain_analyze(sql[match.end():], mode=mode)
+        started = time.perf_counter() if self._metrics_on else 0.0
+        if self._trace_statements or self._slow_query_ms is not None:
+            result = self._execute_traced(sql, mode)
+        else:
+            result = self._compile_and_run(sql, mode)
+        if self._metrics_on:
+            self._record_statement(sql, time.perf_counter() - started)
+        return result
+
+    def _compile_and_run(self, sql: str, mode: str | None) -> QueryResult:
+        """The compile pipeline of :meth:`execute` (cache → lex → parse).
+
+        Span instrumentation: each stage is wrapped when a trace is
+        active and costs one ContextVar read when not.  The exact-hit
+        path stays bare apart from an annotate guard — it is the
+        sustained hot path.
         """
         cache = self._plan_cache
         if cache.enabled:
             query = cache.lookup_exact(sql)
             if query is not None:
+                if obs_trace.tracing():
+                    obs_trace.annotate(plan_cache="exact-hit")
                 return self._execute_analyzed(query, mode=mode)
-            tokens = tokenize(sql)
+            with obs_trace.span("lex"):
+                tokens = tokenize(sql)
             first = tokens[0] if tokens else None
             if first is not None and first.kind == "keyword" and first.value == "select":
                 cache.count_miss()
                 key, literals = normalize(tokens)
                 template = cache.lookup_template(key)
                 if template is not None and template.slots == len(literals):
+                    if obs_trace.tracing():
+                        obs_trace.annotate(plan_cache="template-hit")
                     stmt = template.bind(literals)
                     return self._execute_select(stmt, mode=mode, cache_as=sql)
-                stmt = parse(sql, tokens=tokens)
+                if obs_trace.tracing():
+                    obs_trace.annotate(plan_cache="miss")
+                with obs_trace.span("parse"):
+                    stmt = parse(sql, tokens=tokens)
                 fresh = make_template(stmt, literals)
                 if fresh is not None:
                     cache.store_template(key, fresh)
@@ -241,10 +335,59 @@ class Database:
                 # Non-templatable SELECTs include SELECT ... INTO, which
                 # mutates the catalog and must reach the durable dispatch.
                 return self._dispatch_statement(stmt, sql, mode)
-            stmt = parse(sql, tokens=tokens)
+            with obs_trace.span("parse"):
+                stmt = parse(sql, tokens=tokens)
         else:
-            stmt = parse(sql)
+            with obs_trace.span("parse"):
+                stmt = parse(sql)
         return self._dispatch_statement(stmt, sql, mode)
+
+    def _execute_traced(self, sql: str, mode: str | None) -> QueryResult:
+        """Run one statement under a span trace (trace=True / slow log)."""
+        root = obs_trace.start_span("statement", kind=_statement_kind(sql))
+        result = None
+        try:
+            with root:
+                result = self._compile_and_run(sql, mode)
+        finally:
+            self._last_trace = root
+        if self._slow_query_ms is not None:
+            elapsed_ms = root.duration_ms
+            if elapsed_ms >= self._slow_query_ms:
+                self._record_slow_query(sql, elapsed_ms, root, result)
+        return result
+
+    def _record_statement(self, sql: str, elapsed: float) -> None:
+        """Observe one completed statement in the per-kind histogram."""
+        kind = _statement_kind(sql)
+        hist = self._stmt_hists.get(kind)
+        if hist is None:
+            hist = self.metrics.histogram(
+                "repro_statement_seconds", {"kind": kind}
+            )
+            self._stmt_hists[kind] = hist
+        hist.observe(elapsed)
+
+    def _record_slow_query(
+        self, sql: str, elapsed_ms: float, root, result: QueryResult
+    ) -> None:
+        """Append one structured record to the bounded slow-query log."""
+        record = {
+            "sql": sql if len(sql) <= 500 else sql[:500] + "...",
+            "ms": round(elapsed_ms, 3),
+            "kind": _statement_kind(sql),
+            "rows": result.row_count,
+            "affected": result.affected,
+            "spans": [
+                {"depth": depth, "name": node.name,
+                 "ms": round(node.duration_ms, 3)}
+                for depth, node in root.walk()
+            ],
+            "wall_time": time.time(),
+        }
+        with self._slow_lock:
+            self._slow_log.append(record)
+        self.metrics.counter("repro_slow_statements_total").inc()
 
     def _dispatch_statement(
         self, stmt, sql: str, mode: str | None
@@ -522,6 +665,73 @@ class Database:
             lines.append("  (none)")
         return "\n".join(lines)
 
+    def explain_analyze(self, sql: str, mode: str | None = None) -> QueryResult:
+        """Execute ``sql`` for real under a span trace; return the trace.
+
+        The SQL surface is ``EXPLAIN ANALYZE <stmt>`` (handled by
+        :meth:`execute`); this is the programmatic form.  The statement
+        is compiled from scratch — the exact plan cache is probed but
+        deliberately not used, so the trace always shows the full
+        lex → parse → plan-cache → analyze → plan(crack) → gather
+        pipeline with real timings.  Side effects are the statement's
+        own: an EXPLAIN ANALYZE'd SELECT cracks, an INSERT inserts and
+        reaches the WAL.
+
+        Result shape: columns ``(span, ms, detail)``, one row per span
+        in depth-first order, names indented two spaces per tree level,
+        ``detail`` a ``k=v`` rendering of the span's meta (crack
+        counts, cache probes, row counts).
+        """
+        if not sql.strip():
+            raise SQLAnalysisError("EXPLAIN ANALYZE needs a statement")
+        root = obs_trace.start_span("statement", kind=_statement_kind(sql))
+        with root:
+            with obs_trace.span("lex"):
+                tokens = tokenize(sql)
+            with obs_trace.span("parse"):
+                stmt = parse(sql, tokens=tokens)
+            if isinstance(stmt, SelectStmt) and stmt.into is None:
+                with obs_trace.span("plan_cache") as probe:
+                    probe.meta["exact_hit"] = (
+                        self._plan_cache.lookup_exact(sql) is not None
+                    )
+                with obs_trace.span("analyze"):
+                    query = analyze(stmt, self.catalog)
+                result = self._execute_analyzed(query, mode=mode)
+            else:
+                result = self._dispatch_statement(stmt, sql, mode)
+        root.meta["rows"] = result.row_count
+        root.meta["affected"] = result.affected
+        self._last_trace = root
+        return self._trace_result(root)
+
+    @staticmethod
+    def _trace_result(root) -> QueryResult:
+        """Render a finished span tree as EXPLAIN ANALYZE result rows."""
+        rows = []
+        for depth, node in root.walk():
+            detail = " ".join(
+                f"{key}={value}" for key, value in node.meta.items()
+            )
+            rows.append(("  " * depth + node.name, node.duration_ms, detail))
+        return QueryResult(columns=["span", "ms", "detail"], rows=rows)
+
+    def last_trace(self):
+        """The most recent statement's span tree (``Database(trace=True)``
+        or any EXPLAIN ANALYZE), as a :class:`~repro.obs.trace.Span` —
+        None before the first traced statement."""
+        return self._last_trace
+
+    def slow_query_log(self) -> list[dict]:
+        """Structured records of statements over ``slow_query_ms``.
+
+        Newest last, bounded at :data:`SLOW_LOG_CAPACITY` entries; each
+        record carries the SQL, elapsed ms, statement kind, row counts
+        and the per-span timing breakdown.
+        """
+        with self._slow_lock:
+            return list(self._slow_log)
+
     # ------------------------------------------------------------------ #
     # Individual statement kinds
     # ------------------------------------------------------------------ #
@@ -650,7 +860,8 @@ class Database:
             if cache_as is not None
             else None
         )
-        query = analyze(stmt, self.catalog)
+        with obs_trace.span("analyze"):
+            query = analyze(stmt, self.catalog)
         if cache_as is not None:
             self._plan_cache.store_exact(cache_as, query, epochs)
         return self._execute_analyzed(query, mode=mode)
@@ -664,14 +875,15 @@ class Database:
         cracked range answer it embeds is per-execution state, and the
         join planner reads live cardinalities from the catalog.
         """
-        plan = build_plan(
-            query,
-            self.catalog,
-            cracker=self._cracker,
-            join_budget=self.join_budget,
-            tracker=self.tracker,
-            mode=mode if mode is not None else self.mode,
-        )
+        with obs_trace.span("plan"):
+            plan = build_plan(
+                query,
+                self.catalog,
+                cracker=self._cracker,
+                join_budget=self.join_budget,
+                tracker=self.tracker,
+                mode=mode if mode is not None else self.mode,
+            )
         if isinstance(plan, (Materialize, VecMaterialize)):
             relation = plan.run()
             with self._catalog_lock:
@@ -686,7 +898,8 @@ class Database:
                 columns=plan.columns, rows=[], affected=len(relation),
                 advice=query.advice,
             )
-        rows = list(plan)
+        with obs_trace.span("gather"):
+            rows = list(plan)
         return QueryResult(
             columns=list(plan.columns), rows=rows, advice=query.advice
         )
@@ -710,6 +923,74 @@ class Database:
     def plan_cache_stats(self) -> dict:
         """Hit/miss/invalidation counters of the statement cache."""
         return self._plan_cache.stats()
+
+    def stats(self) -> dict:
+        """One nested dict unifying every stats surface of the engine.
+
+        This is the canonical introspection entry point (and the engine
+        part of the server's STATS payload); the older scattered
+        accessors (:meth:`plan_cache_stats`, :meth:`persistence_stats`,
+        :meth:`piece_count`) remain as thin views of the same state.
+
+        Keys: ``tables`` (name → live rows), ``crackers`` (``table.attr``
+        → piece count), ``cracker_detail`` (per-column crack/pending/
+        piece-size accounting, per-shard imbalance when sharded),
+        ``plan_cache``, ``persistence``, and ``metrics`` (the registry
+        snapshot with per-statement-kind latency histograms).
+        """
+        with self._catalog_lock:
+            tables = {
+                name: len(self.catalog.table(name))
+                for name in self.catalog.table_names()
+            }
+        cracker_detail = (
+            self._cracker.observability() if self._cracker is not None else {}
+        )
+        return {
+            "tables": tables,
+            "crackers": {
+                name: info["pieces"] for name, info in cracker_detail.items()
+            },
+            "cracker_detail": cracker_detail,
+            "plan_cache": self._plan_cache.stats(),
+            "persistence": self.persistence_stats(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _collect_engine_samples(self) -> list[tuple]:
+        """Registry collector: engine state read on demand at scrape time.
+
+        Covers the state that is cheaper to read than to maintain as
+        live metrics: plan-cache counters, WAL/durability gauges and
+        per-column cracker gauges (pieces, cracks, pending buffer
+        depths, shard imbalance).
+        """
+        samples: list[tuple] = []
+        for key, value in self._plan_cache.stats().items():
+            samples.append((f"repro_plan_cache_{key}", None, value))
+        if self._persist is not None:
+            store = self._persist.stats()
+            for key in ("generation", "durable_statements",
+                        "statements_since_checkpoint", "wal_bytes"):
+                samples.append((f"repro_{key}", None, store[key]))
+        if self._cracker is not None:
+            for name, info in self._cracker.observability().items():
+                labels = {"column": name}
+                samples.extend(
+                    (f"repro_cracker_{key}", labels, info[key])
+                    for key in (
+                        "pieces", "tuples", "cracks", "tuples_touched",
+                        "tuples_moved", "queries", "tuples_scanned",
+                        "merged_updates", "pending_inserts",
+                        "pending_deletes", "pending_updates",
+                    )
+                )
+                if "shard_imbalance" in info:
+                    samples.append(
+                        ("repro_cracker_shard_imbalance", labels,
+                         info["shard_imbalance"])
+                    )
+        return samples
 
     def check_invariants(self) -> None:
         """Validate every cracked column's piece/coverage invariants.

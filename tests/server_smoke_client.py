@@ -67,6 +67,11 @@ def main() -> int:
         "--protocol", choices=("v1", "v2"), default=None,
         help="pin the negotiated wire protocol (default: highest common)",
     )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="fetch the METRICS exposition into PATH instead of "
+        "streaming queries (CI uploads it as an artifact)",
+    )
     args = parser.parse_args()
     with Client(
         args.host,
@@ -75,7 +80,18 @@ def main() -> int:
         retry_delay=0.25,
         protocol=args.protocol,
     ) as client:
-        if args.load:
+        if args.metrics_out:
+            text = client.metrics()
+            # The wave before us must have left real latency data.
+            assert "repro_statement_seconds_bucket" in text, text[:200]
+            assert "repro_gateway_executed" in text
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(
+                f"metrics exposition: {len(text.splitlines())} lines "
+                f"-> {args.metrics_out}"
+            )
+        elif args.load:
             load(client)
         else:
             stream(client, args.seed)

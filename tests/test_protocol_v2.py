@@ -522,3 +522,81 @@ def _read_one(sock, decoder) -> dict:
         messages = decoder.feed(data)
         if messages:
             return messages[0]
+
+
+def _payload_shape(value, path=""):
+    """Recursive key-structure signature of a STATS payload.
+
+    Dict key sets are compared at every level; leaves collapse, so
+    volatile values (timings, counts, session ids) never affect the
+    signature while a key that appears on one protocol version but not
+    the other always does.
+    """
+    if isinstance(value, dict):
+        return {
+            key: _payload_shape(sub, f"{path}.{key}")
+            for key, sub in sorted(value.items())
+        }
+    if isinstance(value, list):
+        return "list"
+    # Leaves collapse entirely: v1/v2 may legitimately differ in leaf
+    # values and even leaf types (e.g. negotiated compression is None
+    # on v1 and a codec name on v2); the schema is the key structure.
+    return "leaf"
+
+
+class TestStatsParityV1V2:
+    """STATS is plain JSON on both versions: the payload schema must
+    never fork between v1 and v2 (only *result* encoding differs)."""
+
+    def test_same_payload_shape_after_same_workload(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port, protocol="v1") as v1, Client(
+                host, port, protocol="v2"
+            ) as v2:
+                assert (v1.protocol_version, v2.protocol_version) == (1, 2)
+                setup = [
+                    "CREATE TABLE r (k integer, a integer)",
+                    "INSERT INTO r VALUES (1, 10), (2, 20), (3, 30)",
+                ]
+                probes = [
+                    "SELECT count(*) FROM r WHERE a BETWEEN 0 AND 25",
+                    "SELECT r.k FROM r WHERE a > 5",
+                ]
+                for statement in setup:
+                    v1.execute(statement)
+                # Both sessions run the same probe workload, so even the
+                # per-kind histogram label keys must coincide.
+                for statement in probes:
+                    v1.execute(statement)
+                    v2.execute(statement)
+                s1, s2 = v1.stats(), v2.stats()
+                assert _payload_shape(s1) == _payload_shape(s2)
+                # The shared engine state is value-identical, not just
+                # shape-identical (both sessions see one database).
+                for key in ("tables", "crackers", "persistence"):
+                    assert s1[key] == s2[key], key
+                # And the sessions know which protocol they negotiated.
+                assert s1["session"]["protocol"] == 1
+                assert s2["session"]["protocol"] == 2
+
+    def test_metrics_exposition_identical_across_versions(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port, protocol="v1") as v1, Client(
+                host, port, protocol="v2"
+            ) as v2:
+                v1.execute("CREATE TABLE r (k integer)")
+                names = {
+                    line.split("{")[0].split(" ")[0]
+                    for line in v1.metrics().splitlines()
+                    if line and not line.startswith("#")
+                }
+                names2 = {
+                    line.split("{")[0].split(" ")[0]
+                    for line in v2.metrics().splitlines()
+                    if line and not line.startswith("#")
+                }
+                # Same metric families on both protocol versions (the
+                # session-labelled sample differs only in label value).
+                assert names == names2
+                assert "repro_statement_seconds_bucket" in names

@@ -663,3 +663,80 @@ class TestGracefulShutdown:
                 assert stats["crackers"] == {"r.a": pytest.approx(2, abs=1)}
                 assert stats["session"]["statements"] == 3
                 assert stats["persistence"] == {"persistent": False}
+
+
+class TestObservabilitySurface:
+    """METRICS wire message, enriched STATS, and the `repro stats` CLI."""
+
+    def _warm(self, client: Client) -> None:
+        client.execute("CREATE TABLE r (k integer, a integer)")
+        values = ", ".join(f"({i}, {(i * 7) % 100})" for i in range(60))
+        client.execute(f"INSERT INTO r VALUES {values}")
+        for low in (5, 20, 40, 70):
+            client.execute(
+                f"SELECT count(*) FROM r WHERE a BETWEEN {low} AND {low + 20}"
+            )
+
+    def test_stats_carries_histograms_and_cracker_detail(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                self._warm(client)
+                stats = client.stats()
+                hists = stats["metrics"]["histograms"][
+                    "repro_statement_seconds"
+                ]
+                select = hists["kind=select"]
+                assert select["count"] == 4
+                assert 0 < select["p50"] <= select["p95"] <= select["p99"]
+                assert hists["kind=insert"]["count"] == 1
+                detail = stats["cracker_detail"]["r.a"]
+                assert detail["pieces"] == stats["crackers"]["r.a"] >= 2
+                assert detail["tuples"] == 60
+                assert "queue_depth" in stats["server"]
+
+    def test_metrics_exposition_end_to_end(self):
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                self._warm(client)
+                text = client.metrics()
+                assert "# TYPE repro_statement_seconds histogram" in text
+                assert 'repro_statement_seconds_count{kind="select"} 4' in text
+                assert 'repro_cracker_pieces{column="r.a"}' in text
+                assert "repro_gateway_executed" in text
+                assert "repro_server_connections 1" in text
+                assert "repro_session_statements" in text
+                # Every non-comment line is "name{labels} value".
+                for line in text.strip().splitlines():
+                    if line.startswith("#"):
+                        continue
+                    name, _, value = line.rpartition(" ")
+                    assert name and value not in ("", "None"), line
+            async_text = asyncio.run(self._async_metrics(host, port))
+            assert "repro_gateway_executed" in async_text
+
+    @staticmethod
+    async def _async_metrics(host, port) -> str:
+        async with AsyncClient(host, port) as client:
+            return await client.metrics()
+
+    def test_repro_stats_cli(self, capsys):
+        from repro.__main__ import main as cli_main
+
+        with served() as (_, host, port, _thread):
+            with Client(host, port) as client:
+                self._warm(client)
+                assert cli_main(["stats", f"{host}:{port}"]) == 0
+                summary = capsys.readouterr().out
+                assert "statement latency (ms):" in summary
+                assert "cracker r.a:" in summary
+                assert "gateway:" in summary
+                assert cli_main(["stats", f"{host}:{port}", "--raw"]) == 0
+                raw = capsys.readouterr().out
+                assert "# TYPE repro_statement_seconds histogram" in raw
+
+    def test_repro_stats_cli_bad_address(self, capsys):
+        from repro.__main__ import run_stats
+
+        # Nothing listens here: the CLI reports and exits nonzero.
+        assert run_stats(["127.0.0.1:1"]) == 1
+        assert "error:" in capsys.readouterr().err

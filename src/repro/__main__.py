@@ -11,7 +11,9 @@ Usage::
     python -m repro restore ./state      # recover + verify a durable store
     python -m repro serve --port 7744 --persist-dir ./state   # SQL server
     python -m repro stats 127.0.0.1:7744   # live server metrics (--raw for
-                                           # the Prometheus exposition)
+                                           # the Prometheus exposition,
+                                           # --watch N to refresh in place)
+    python -m repro top 127.0.0.1:7744     # live qps/latency/crack monitor
 """
 
 from __future__ import annotations
@@ -327,6 +329,84 @@ def run_restore(argv: list[str]) -> int:
     return 0
 
 
+def _render_stats(stats: dict) -> list[str]:
+    """The one-shot STATS summary as lines (shared by stats/--watch)."""
+    lines: list[str] = []
+    server = stats.get("server", {})
+    gateway = stats.get("gateway", {})
+    lines.append(
+        f"server: {server.get('connections', '?')} connection(s) "
+        f"(accepted {server.get('accepted', '?')}, "
+        f"refused {server.get('refused', '?')}, "
+        f"queue depth {server.get('queue_depth', '?')})"
+    )
+    lines.append(
+        f"gateway: {gateway.get('executed', '?')} executed, "
+        f"{gateway.get('pending', '?')} pending "
+        f"(peak {gateway.get('peak_pending', '?')}), "
+        f"{gateway.get('rejected', '?')} rejected, "
+        f"{gateway.get('timeouts', '?')} timed out"
+    )
+    for name, rows in sorted(stats.get("tables", {}).items()):
+        lines.append(f"  table {name}: {rows} rows")
+    detail = stats.get("cracker_detail", {})
+    for name, pieces in sorted(stats.get("crackers", {}).items()):
+        info = detail.get(name, {})
+        extras = ""
+        if info:
+            extras = (
+                f" ({info.get('cracks', 0)} cracks, "
+                f"{info.get('pending_inserts', 0)}+"
+                f"{info.get('pending_deletes', 0)}+"
+                f"{info.get('pending_updates', 0)} pending i/d/u)"
+            )
+        lines.append(f"  cracker {name}: {pieces} pieces{extras}")
+    convergence = stats.get("convergence", {})
+    for name, curve in sorted(convergence.items()):
+        if curve.get("last") is None:
+            continue
+        lines.append(
+            f"  profile {name}: cost ratio last {curve['last']:.4f} "
+            f"(recent mean {curve['recent_mean']:.4f}, "
+            f"{curve['queries']} profiled queries)"
+        )
+    histograms = stats.get("metrics", {}).get("histograms", {})
+    latencies = histograms.get("repro_statement_seconds", {})
+    if latencies:
+        lines.append("statement latency (ms):")
+        for label, snap in sorted(latencies.items()):
+            kind = label.partition("=")[2] or label or "all"
+            lines.append(
+                f"  {kind:<8} n={snap['count']:<6} "
+                f"p50={snap['p50'] * 1e3:.3f} "
+                f"p95={snap['p95'] * 1e3:.3f} "
+                f"p99={snap['p99'] * 1e3:.3f} "
+                f"max={snap['max'] * 1e3:.3f}"
+            )
+    cache = stats.get("plan_cache", {})
+    if cache:
+        lines.append(
+            f"plan cache: {cache.get('hits', 0)} exact hits, "
+            f"{cache.get('template_hits', 0)} template hits, "
+            f"{cache.get('misses', 0)} misses"
+        )
+    persistence = stats.get("persistence", {})
+    if persistence.get("persistent"):
+        lines.append(
+            f"persistence: generation {persistence.get('generation')}, "
+            f"{persistence.get('durable_statements')} durable statements, "
+            f"WAL {persistence.get('wal_bytes')} bytes"
+        )
+    return lines
+
+
+def _parse_address(parser: argparse.ArgumentParser, address: str) -> tuple[str, int]:
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"address must be host:port, got {address!r}")
+    return host, int(port_text)
+
+
 def run_stats(argv: list[str]) -> int:
     """The ``stats`` subcommand: render a live server's observability surface.
 
@@ -335,8 +415,11 @@ def run_stats(argv: list[str]) -> int:
     operator reaches for first: per-statement-kind latency quantiles,
     cracker piece counts, and the admission/backpressure gauges.
     ``--raw`` dumps the Prometheus-style METRICS exposition instead —
-    the machine-readable form a scraper would ingest.
+    the machine-readable form a scraper would ingest.  ``--watch N``
+    refreshes the summary in place every N seconds until Ctrl-C.
     """
+    import time
+
     from repro.client import Client
     from repro.errors import ReproError
 
@@ -352,77 +435,131 @@ def run_stats(argv: list[str]) -> int:
         "--raw", action="store_true",
         help="print the Prometheus text exposition instead of the summary",
     )
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh the summary in place every this many seconds "
+        "(Ctrl-C exits)",
+    )
     args = parser.parse_args(argv)
-    host, _, port_text = args.address.rpartition(":")
-    if not host or not port_text.isdigit():
-        parser.error(f"address must be host:port, got {args.address!r}")
+    if args.watch is not None and args.watch <= 0:
+        parser.error("--watch needs a positive refresh period")
+    if args.watch is not None and args.raw:
+        parser.error("--watch renders the summary; it cannot combine with --raw")
+    host, port = _parse_address(parser, args.address)
     try:
-        with Client(host, int(port_text)) as client:
+        with Client(host, port) as client:
             if args.raw:
                 print(client.metrics(), end="")
                 return 0
-            stats = client.stats()
+            if args.watch is None:
+                print("\n".join(_render_stats(client.stats())))
+                return 0
+            while True:
+                body = "\n".join(_render_stats(client.stats()))
+                # Clear screen + home, like watch(1): refresh in place.
+                sys.stdout.write("\x1b[2J\x1b[H" + body + "\n")
+                sys.stdout.flush()
+                time.sleep(args.watch)
+    except KeyboardInterrupt:
+        print()
+        return 0
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    server = stats.get("server", {})
-    gateway = stats.get("gateway", {})
-    print(
-        f"server: {server.get('connections', '?')} connection(s) "
-        f"(accepted {server.get('accepted', '?')}, "
-        f"refused {server.get('refused', '?')}, "
-        f"queue depth {server.get('queue_depth', '?')})"
+
+def _render_top(address: str, snapshot: dict) -> str:
+    """One ``repro top`` frame from a timeseries snapshot."""
+    from repro.obs.timeseries import rates
+
+    samples = snapshot.get("samples", [])
+    per_second = rates(samples)
+    latest = samples[-1] if samples else {}
+    lines = [
+        f"repro top — {address}  "
+        f"({len(samples)} sample(s), interval {snapshot.get('interval', '?')}s)"
+    ]
+    lines.append(
+        f"qps {per_second.get('statements', 0.0):10.1f}   "
+        f"cracks/s {per_second.get('cracks', 0.0):8.1f}   "
+        f"tuples moved/s {per_second.get('tuples_moved', 0.0):12.0f}"
     )
-    print(
-        f"gateway: {gateway.get('executed', '?')} executed, "
-        f"{gateway.get('pending', '?')} pending "
-        f"(peak {gateway.get('peak_pending', '?')}), "
-        f"{gateway.get('rejected', '?')} rejected, "
-        f"{gateway.get('timeouts', '?')} timed out"
+    lines.append(
+        f"select latency ms  "
+        f"p50 {latest.get('select_p50_ms', 0.0):9.3f}  "
+        f"p95 {latest.get('select_p95_ms', 0.0):9.3f}  "
+        f"p99 {latest.get('select_p99_ms', 0.0):9.3f}"
     )
-    for name, rows in sorted(stats.get("tables", {}).items()):
-        print(f"  table {name}: {rows} rows")
-    detail = stats.get("cracker_detail", {})
-    for name, pieces in sorted(stats.get("crackers", {}).items()):
-        info = detail.get(name, {})
-        extras = ""
-        if info:
-            extras = (
-                f" ({info.get('cracks', 0)} cracks, "
-                f"{info.get('pending_inserts', 0)}+"
-                f"{info.get('pending_deletes', 0)}+"
-                f"{info.get('pending_updates', 0)} pending i/d/u)"
-            )
-        print(f"  cracker {name}: {pieces} pieces{extras}")
-    histograms = stats.get("metrics", {}).get("histograms", {})
-    latencies = histograms.get("repro_statement_seconds", {})
-    if latencies:
-        print("statement latency (ms):")
-        for label, snap in sorted(latencies.items()):
-            kind = label.partition("=")[2] or label or "all"
-            print(
-                f"  {kind:<8} n={snap['count']:<6} "
-                f"p50={snap['p50'] * 1e3:.3f} "
-                f"p95={snap['p95'] * 1e3:.3f} "
-                f"p99={snap['p99'] * 1e3:.3f} "
-                f"max={snap['max'] * 1e3:.3f}"
-            )
-    cache = stats.get("plan_cache", {})
-    if cache:
-        print(
-            f"plan cache: {cache.get('hits', 0)} exact hits, "
-            f"{cache.get('template_hits', 0)} template hits, "
-            f"{cache.get('misses', 0)} misses"
-        )
-    persistence = stats.get("persistence", {})
-    if persistence.get("persistent"):
-        print(
-            f"persistence: generation {persistence.get('generation')}, "
-            f"{persistence.get('durable_statements')} durable statements, "
-            f"WAL {persistence.get('wal_bytes')} bytes"
-        )
-    return 0
+    lines.append(
+        f"connections {latest.get('connections', 0):4.0f}   "
+        f"queue depth {latest.get('queue_depth', 0):4.0f}   "
+        f"pieces {latest.get('pieces', 0):6.0f}"
+    )
+    converging = {
+        key.partition(":")[2]: value
+        for key, value in latest.items()
+        if key.startswith("convergence:")
+    }
+    if converging:
+        lines.append("convergence (crack/scan cost ratio, last profiled query):")
+        for name, value in sorted(converging.items()):
+            lines.append(f"  {name:<24} {value:8.4f}")
+    if not samples:
+        lines.append("(no samples yet: the server records one per interval)")
+    return "\n".join(lines)
+
+
+def run_top(argv: list[str]) -> int:
+    """The ``top`` subcommand: live activity monitor of a serving database.
+
+    Pulls the server's metrics time-series ring (the ``timeseries`` wire
+    message) and renders qps, crack activity, latency quantiles, queue
+    depth and — when the server runs with ``--profile`` — per-column
+    convergence, refreshing in place until Ctrl-C.  ``--once`` prints a
+    single frame and exits, for scripts and smoke tests.
+    """
+    import time
+
+    from repro.client import Client
+    from repro.errors import ReproError
+
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live qps/latency/crack-activity monitor of a running "
+        "repro server (from its metrics time-series ring).",
+    )
+    parser.add_argument(
+        "address", help="server address as host:port (e.g. 127.0.0.1:7744)"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default 2s; the sampling cadence is the "
+        "server's, this only re-fetches)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render one frame to stdout and exit (for scripting)",
+    )
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval needs a positive refresh period")
+    host, port = _parse_address(parser, args.address)
+    try:
+        with Client(host, port) as client:
+            while True:
+                frame = _render_top(args.address, client.timeseries(last=64))
+                if args.once:
+                    print(frame)
+                    return 0
+                sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+                sys.stdout.flush()
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def run_serve(argv: list[str]) -> int:
@@ -529,6 +666,11 @@ def run_serve(argv: list[str]) -> int:
         "--init", default=None, metavar="SCRIPT",
         help="';'-separated SQL script to run before accepting clients",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable the per-column workload profiler (crack lineage, "
+        "predicate histograms, convergence — see EXPLAIN INDEX, repro top)",
+    )
     args = parser.parse_args(argv)
     try:
         database = Database(
@@ -538,6 +680,7 @@ def run_serve(argv: list[str]) -> int:
             concurrent=True,
             plan_cache=not args.no_plan_cache,
             crack_threshold=args.crack_threshold,
+            profile=args.profile,
             persist_dir=args.persist_dir,
             wal_fsync_every=args.wal_fsync_every,
             checkpoint_statements=args.checkpoint_statements,
@@ -630,7 +773,8 @@ def main(argv: list[str] | None = None) -> int:
         print("     python -m repro snapshot <persist_dir>")
         print("     python -m repro restore <persist_dir> [-e 'SQL...']")
         print("     python -m repro serve [--port N] [--persist-dir DIR]")
-        print("     python -m repro stats <host:port> [--raw]")
+        print("     python -m repro stats <host:port> [--raw] [--watch N]")
+        print("     python -m repro top <host:port> [--once] [--interval N]")
         return 0
     target, *rest = argv
     if target == "sql":
@@ -639,6 +783,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_bench(rest)
     if target == "serve":
         return run_serve(rest)
+    if target == "top":
+        return run_top(rest)
     if target == "stats":
         return run_stats(rest)
     if target == "snapshot":

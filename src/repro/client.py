@@ -519,6 +519,17 @@ class Client(_ClientCore):
         reply = _check_reply(self._request({"type": "metrics"}), "metrics")
         return reply["exposition"]
 
+    def timeseries(self, last: int | None = None) -> dict:
+        """The server's metrics-ring snapshot (``repro top``'s feed).
+
+        ``last`` trims to the most recent that many samples.
+        """
+        message: dict = {"type": "timeseries"}
+        if last is not None:
+            message["last"] = last
+        reply = _check_reply(self._request(message), "timeseries")
+        return reply["payload"]
+
     def close(self) -> None:
         """Polite goodbye then socket close (idempotent)."""
         if self._sock is not None:
@@ -767,6 +778,14 @@ class AsyncClient(_ClientCore):
             await self._request({"type": "metrics"}), "metrics"
         )
         return reply["exposition"]
+
+    async def timeseries(self, last: int | None = None) -> dict:
+        """See :meth:`Client.timeseries`."""
+        message: dict = {"type": "timeseries"}
+        if last is not None:
+            message["last"] = last
+        reply = _check_reply(await self._request(message), "timeseries")
+        return reply["payload"]
 
     async def close(self) -> None:
         if self._writer is not None:

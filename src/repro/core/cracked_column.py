@@ -246,6 +246,10 @@ class CrackedColumn:
         # plain ref list, not a WeakSet: neither dataclass results nor
         # ndarrays are hashable.  See snapshot().
         self._live_snapshot_refs: list[weakref.ref] = []
+        # Optional per-column introspection (lineage/workload profiler).
+        # None unless Database(profile=True) attached one — every hook
+        # below costs a single attribute check when disabled.
+        self.introspect = None
 
     def __len__(self) -> int:
         return len(self.values)
@@ -429,8 +433,15 @@ class CrackedColumn:
         if piece.size < self.crack_threshold:
             return None, piece
         self.query_stats.pieces_inspected += 1
+        moved_before = self.crack_stats.tuples_moved
         split = self._kernel_two(piece.start, piece.stop, value, kind)
         self.index.add(value, kind, split)
+        if self.introspect is not None:
+            self.introspect.record_crack(
+                bounds=(value,),
+                piece_sizes=(split - piece.start, piece.stop - split),
+                moved=self.crack_stats.tuples_moved - moved_before,
+            )
         return split, None
 
     def _edge_positions(self, piece: Piece, low, high, low_kind, high_kind) -> np.ndarray:
@@ -668,6 +679,8 @@ class CrackedColumn:
         self._pending_values.clear()
         self._pending_oids.clear()
         self.query_stats.merged_updates += len(pending_values)
+        if self.introspect is not None:
+            self.introspect.record_merge("merge", int(len(pending_values)))
         boundary_count = len(self.index)
         if boundary_count == 0:
             self.values = np.concatenate([self.values, pending_values])
@@ -736,6 +749,8 @@ class CrackedColumn:
         if removal.size == 0:
             return
         self.query_stats.merged_updates += int(removal.size)
+        if self.introspect is not None:
+            self.introspect.record_merge("tombstone", int(removal.size))
         update_present = np.isin(update_oids, self.oids)
         keep_mask = ~np.isin(self.oids, removal)
         removed_positions = np.flatnonzero(~keep_mask)
@@ -804,8 +819,15 @@ class CrackedColumn:
             return existing
         piece = self.index.piece_for(value, kind)
         self.query_stats.pieces_inspected += 1
+        moved_before = self.crack_stats.tuples_moved
         split = self._kernel_two(piece.start, piece.stop, value, kind)
         self.index.add(value, kind, split)
+        if self.introspect is not None:
+            self.introspect.record_crack(
+                bounds=(value,),
+                piece_sizes=(split - piece.start, piece.stop - split),
+                moved=self.crack_stats.tuples_moved - moved_before,
+            )
         return split
 
     def _crack_both(self, low, high, low_kind: str, high_kind: str) -> tuple[int, int]:
@@ -823,15 +845,27 @@ class CrackedColumn:
             )
             if same_piece and self.crack_in_three_enabled:
                 self.query_stats.pieces_inspected += 1
+                moved_before = self.crack_stats.tuples_moved
                 split_low, split_high = self._kernel_three(
                     low_piece.start, low_piece.stop, low, high, low_kind, high_kind
                 )
                 self.index.add(low, low_kind, split_low)
                 self.index.add(high, high_kind, split_high)
+                if self.introspect is not None:
+                    self.introspect.record_crack(
+                        bounds=(low, high),
+                        piece_sizes=(
+                            split_low - low_piece.start,
+                            split_high - split_low,
+                            low_piece.stop - split_high,
+                        ),
+                        moved=self.crack_stats.tuples_moved - moved_before,
+                    )
                 return split_low, split_high
             if same_piece:
                 self.query_stats.pieces_inspected += 1
                 self._shield_snapshots()
+                moved_before = self.crack_stats.tuples_moved
                 split_low, split_high = crack_in_three_via_two(
                     self.values,
                     self.oids,
@@ -845,6 +879,16 @@ class CrackedColumn:
                 )
                 self.index.add(low, low_kind, split_low)
                 self.index.add(high, high_kind, split_high)
+                if self.introspect is not None:
+                    self.introspect.record_crack(
+                        bounds=(low, high),
+                        piece_sizes=(
+                            split_low - low_piece.start,
+                            split_high - split_low,
+                            low_piece.stop - split_high,
+                        ),
+                        moved=self.crack_stats.tuples_moved - moved_before,
+                    )
                 return split_low, split_high
         start = self._ensure_boundary(low, low_kind)
         stop = self._ensure_boundary(high, high_kind)

@@ -223,6 +223,9 @@ class ShardedCrackedColumn:
         self._initial_rows = len(values)
         self._appended = 0
         self._deleted = 0
+        # Optional introspection (see CrackedColumn._setup); attach()
+        # shares one object across all shards.
+        self.introspect = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -513,6 +516,7 @@ class ShardedCrackedColumn:
         column._appended = int(state["appended"])
         # Pre-DML snapshots carry no delete accounting.
         column._deleted = int(state.get("deleted", 0))
+        column.introspect = None
         column.check_invariants()
         return column
 

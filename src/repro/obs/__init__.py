@@ -13,19 +13,30 @@ that narration layer:
 * :mod:`repro.obs.trace` — context-local span tracing over monotonic
   clocks, instrumenting lex → parse → analyze → plan-cache → crack →
   pending-merge → gather on the read path and WAL append/fsync,
-  checkpoint and tombstone merge on the write path.
+  checkpoint and tombstone merge on the write path;
+* :mod:`repro.obs.introspect` — per-column index introspection: a
+  bounded live lineage log of every crack/merge decision (the §3.2
+  "administer the lineage" idea, live), a predicate-range workload
+  profiler and a cost-model convergence curve, enabled by
+  ``Database(profile=True)``;
+* :mod:`repro.obs.timeseries` — a fixed-interval ring buffer of scalar
+  metric samples with delta/rate readout, sampled by the server and
+  rendered by the ``repro top`` live monitor.
 
 Surfaces built on top: ``EXPLAIN ANALYZE <stmt>`` (span tree as result
+rows), ``EXPLAIN INDEX <table>(<col>)`` (lineage/profiler/convergence
 rows), ``Database(slow_query_ms=...)`` (structured slow-query log),
 ``Database.stats()`` (one nested dict unifying the formerly scattered
-stats accessors), the server's STATS/METRICS wire messages and the
-``repro stats <host:port>`` CLI.
+stats accessors, now including ``workload``/``lineage``/``convergence``),
+the server's STATS/METRICS/TIMESERIES wire messages and the
+``repro stats`` / ``repro top`` CLIs.
 
 Everything is gated: with tracing off each instrumentation site costs
 one ContextVar read, and ``Database(metrics=False)`` switches even the
 per-statement histogram off.
 """
 
+from repro.obs.introspect import ColumnIntrospection
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
     Counter,
@@ -34,15 +45,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
     render_exposition,
 )
+from repro.obs.timeseries import TimeSeries
 from repro.obs.trace import Span, annotate, current, span, start_span, tracing
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "ColumnIntrospection",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TimeSeries",
     "annotate",
     "current",
     "render_exposition",

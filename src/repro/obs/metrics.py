@@ -265,30 +265,66 @@ class MetricsRegistry:
         self.enabled = enabled
         self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
         self._collectors: list = []
+        self._descriptions: dict[str, str] = {}
         self._lock = threading.Lock()
 
-    def _get(self, factory, null_factory, name: str, labels: dict | None):
+    def _get(
+        self,
+        factory,
+        null_factory,
+        name: str,
+        labels: dict | None,
+        description: str | None,
+    ):
         if not self.enabled:
             return null_factory(name, labels)
         key = (name, _label_key(labels))
         with self._lock:
+            if description is not None:
+                self._descriptions.setdefault(name, description)
             metric = self._metrics.get(key)
             if metric is None:
                 metric = factory(name, labels)
                 self._metrics[key] = metric
             return metric
 
-    def counter(self, name: str, labels: dict | None = None) -> Counter:
+    def counter(
+        self,
+        name: str,
+        labels: dict | None = None,
+        description: str | None = None,
+    ) -> Counter:
         """The counter registered under ``name`` + ``labels``."""
-        return self._get(Counter, _NullCounter, name, labels)
+        return self._get(Counter, _NullCounter, name, labels, description)
 
-    def gauge(self, name: str, labels: dict | None = None) -> Gauge:
+    def gauge(
+        self,
+        name: str,
+        labels: dict | None = None,
+        description: str | None = None,
+    ) -> Gauge:
         """The gauge registered under ``name`` + ``labels``."""
-        return self._get(Gauge, _NullGauge, name, labels)
+        return self._get(Gauge, _NullGauge, name, labels, description)
 
-    def histogram(self, name: str, labels: dict | None = None) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        labels: dict | None = None,
+        description: str | None = None,
+    ) -> Histogram:
         """The histogram registered under ``name`` + ``labels``."""
-        return self._get(Histogram, _NullHistogram, name, labels)
+        return self._get(Histogram, _NullHistogram, name, labels, description)
+
+    def describe(self, name: str, description: str) -> None:
+        """Register a ``# HELP`` text for a metric family by name.
+
+        Collector-produced gauges have no register site that could carry
+        a description, so their owners call this once at wiring time.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._descriptions.setdefault(name, description)
 
     def register_collector(self, collector) -> None:
         """Add a callable yielding ``(name, labels, value)`` samples."""
@@ -342,12 +378,18 @@ class MetricsRegistry:
             return "\n".join(lines) + ("\n" if lines else "")
         with self._lock:
             metrics = list(self._metrics.values())
+            descriptions = dict(self._descriptions)
         lines: list[str] = []
         typed: set[str] = set()
         for metric in sorted(metrics, key=lambda m: m.name):
             if isinstance(metric, Histogram):
                 if metric.name not in typed:
                     typed.add(metric.name)
+                    if metric.name in descriptions:
+                        lines.append(
+                            f"# HELP {metric.name} "
+                            f"{_escape(descriptions[metric.name])}"
+                        )
                     lines.append(f"# TYPE {metric.name} histogram")
                 labels = metric.labels
                 cumulative = 0
@@ -375,6 +417,11 @@ class MetricsRegistry:
                 kind = "counter" if isinstance(metric, Counter) else "gauge"
                 if metric.name not in typed:
                     typed.add(metric.name)
+                    if metric.name in descriptions:
+                        lines.append(
+                            f"# HELP {metric.name} "
+                            f"{_escape(descriptions[metric.name])}"
+                        )
                     lines.append(f"# TYPE {metric.name} {kind}")
                 lines.append(
                     f"{metric.name}{_format_labels(metric.labels)} "
@@ -383,7 +430,7 @@ class MetricsRegistry:
         samples = self._collect()
         if extra:
             samples.extend(extra)
-        lines.extend(render_exposition(samples))
+        lines.extend(render_exposition(samples, descriptions))
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -408,12 +455,13 @@ def _format_value(value) -> str:
     return str(value)
 
 
-def render_exposition(samples) -> list[str]:
+def render_exposition(samples, descriptions: dict | None = None) -> list[str]:
     """Render ``(name, labels, value)`` samples as gauge lines.
 
     Standalone so server-side state that lives outside any registry
     (gateway counters, per-connection queue depths) renders through
-    the exact same formatting as registry metrics.
+    the exact same formatting as registry metrics.  ``descriptions``
+    optionally maps names to ``# HELP`` texts.
     """
     lines: list[str] = []
     typed: set[str] = set()
@@ -422,6 +470,8 @@ def render_exposition(samples) -> list[str]:
             continue
         if name not in typed:
             typed.add(name)
+            if descriptions and name in descriptions:
+                lines.append(f"# HELP {name} {_escape(descriptions[name])}")
             lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name}{_format_labels(labels or {})} {_format_value(value)}")
     return lines

@@ -13,13 +13,16 @@ Framing
 Messages
     Objects carry a ``"type"`` discriminator.  Requests:
     ``hello`` ``query`` ``prepare`` ``execute`` ``deallocate``
-    ``begin`` ``commit`` ``abort`` ``stats`` ``metrics`` ``close``.
+    ``begin`` ``commit`` ``abort`` ``stats`` ``metrics``
+    ``timeseries`` ``close``.
     Replies: ``hello`` ``result`` ``prepared`` ``closed`` ``queued``
     ``begun`` ``committed`` ``aborted`` ``stats`` ``metrics``
-    ``goodbye`` and the typed ``error`` reply (``code`` + ``message``;
-    see :data:`ERROR_CODES`).  A ``metrics`` reply carries the
-    Prometheus-style text exposition of every metric layer (engine
-    registry + gateway + server) in its ``"exposition"`` field.
+    ``timeseries`` ``goodbye`` and the typed ``error`` reply (``code``
+    + ``message``; see :data:`ERROR_CODES`).  A ``metrics`` reply
+    carries the Prometheus-style text exposition of every metric layer
+    (engine registry + gateway + server) in its ``"exposition"``
+    field; a ``timeseries`` reply carries the server's metrics-ring
+    snapshot (see :mod:`repro.obs.timeseries`) in its ``"payload"``.
 
 Version negotiation
     HELLO advertises a version *list* (``"versions": [1, 2]``, plus the

@@ -31,6 +31,7 @@ import threading
 from collections import deque
 
 from repro.errors import ProtocolError
+from repro.obs.timeseries import TimeSeries
 from repro.server.gateway import ExecutionGateway
 from repro.server.protocol import (
     DEFAULT_CHUNK_BYTES,
@@ -86,6 +87,8 @@ class ReproServer:
             result-frame bodies.
         pipeline_batch: maximum pipelined statements folded into one
             engine trip per connection (1 disables batching).
+        timeseries_interval: seconds between metrics ring samples (the
+            ``timeseries`` wire message / ``repro top`` feed).
     """
 
     def __init__(
@@ -105,6 +108,7 @@ class ReproServer:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         compression: bool = True,
         pipeline_batch: int = 128,
+        timeseries_interval: float = 1.0,
     ) -> None:
         self.database = database
         self.host = host
@@ -122,6 +126,8 @@ class ReproServer:
             max_pending=max_pending,
             statement_timeout=statement_timeout,
         )
+        self.timeseries = TimeSeries(interval=timeseries_interval)
+        self._sampler_task: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
         self._connections: dict[int, _Connection] = {}
         self._workers: set[asyncio.Task] = set()
@@ -139,6 +145,56 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._accept, self.host, self.port
         )
+        self._sampler_task = asyncio.ensure_future(self._sample_loop())
+
+    async def _sample_loop(self) -> None:
+        """Feed the metrics ring once per interval until shutdown.
+
+        Sampling reads engine state (metric locks, cracker read locks),
+        so it runs on an executor thread like any other engine work;
+        a failed sample is skipped rather than killing the monitor.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.timeseries.interval)
+            try:
+                sample = await loop.run_in_executor(None, self._build_sample)
+            except Exception:
+                continue
+            self.timeseries.record(sample)
+
+    def _build_sample(self) -> dict:
+        """One flat numeric sample of engine + server state."""
+        sample: dict = {}
+        snap = self.database.metrics.snapshot()
+        statements = 0
+        for key, hist in (
+            snap["histograms"].get("repro_statement_seconds", {}).items()
+        ):
+            statements += hist["count"]
+            if key == "kind=select":
+                sample["select_p50_ms"] = hist["p50"] * 1000.0
+                sample["select_p95_ms"] = hist["p95"] * 1000.0
+                sample["select_p99_ms"] = hist["p99"] * 1000.0
+        sample["statements"] = statements
+        for name, source in (
+            ("cracks", "repro_cracker_cracks"),
+            ("tuples_moved", "repro_cracker_tuples_moved"),
+            ("pieces", "repro_cracker_pieces"),
+        ):
+            gauges = snap["gauges"].get(source)
+            if gauges:
+                sample[name] = sum(gauges.values())
+        server = self.stats()
+        sample["connections"] = server["connections"]
+        sample["queue_depth"] = server["queue_depth"]
+        cracker = getattr(self.database, "_cracker", None)
+        if cracker is not None and getattr(cracker, "profile", False):
+            for introspection in cracker.introspections().values():
+                last = introspection.convergence()["last"]
+                if last is not None:
+                    sample[f"convergence:{introspection.name}"] = last
+        return sample
 
     @property
     def address(self) -> tuple[str, int]:
@@ -164,6 +220,9 @@ class ReproServer:
         """
         self._draining = True
         drained = len(self._connections)
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            self._sampler_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -242,6 +301,7 @@ class ReproServer:
             server_stats=self.stats,
             offer_versions=self.offer_versions,
             compression=self.compression,
+            timeseries=self.timeseries.snapshot,
         )
         conn = _Connection(session, reader, writer, self.queue_depth)
         self._connections[session_id] = conn

@@ -59,6 +59,9 @@ class ClientSession:
         server_stats: zero-argument callable returning the server's
             counter dict, merged into STATS replies (None embeds only
             engine/gateway/session counters).
+        timeseries: callable returning the server's metrics-ring
+            snapshot (accepts ``last=``); None answers TIMESERIES
+            requests with an empty ring (embedded/test sessions).
     """
 
     def __init__(
@@ -70,11 +73,13 @@ class ClientSession:
         default_mode: str | None = None,
         offer_versions=SUPPORTED_VERSIONS,
         compression: bool = True,
+        timeseries=None,
     ) -> None:
         self.database = database
         self.gateway = gateway
         self.session_id = session_id
         self.server_stats = server_stats
+        self.timeseries = timeseries
         self.default_mode = default_mode
         self.offer_versions = tuple(offer_versions)
         self.compression_enabled = compression
@@ -405,6 +410,23 @@ class ClientSession:
         if self.server_stats is not None:
             payload["server"] = self.server_stats()
         return {"type": "stats", "payload": payload}
+
+    async def _on_timeseries(self, message: dict) -> dict:
+        """The server's metrics ring (the ``repro top`` feed).
+
+        ``last`` optionally trims the reply to the most recent that many
+        samples.  Sessions without a ring (embedded/unit-test use)
+        answer with an empty one rather than an error, so monitors can
+        probe any endpoint.
+        """
+        last = message.get("last")
+        if last is not None and (isinstance(last, bool) or not isinstance(last, int)):
+            raise ProtocolError("'last' must be an integer when present")
+        if self.timeseries is None:
+            payload = {"interval": 0.0, "capacity": 0, "taken": 0, "samples": []}
+        else:
+            payload = self.timeseries(last=last)
+        return {"type": "timeseries", "payload": payload}
 
     async def _on_metrics(self, message: dict) -> dict:
         """Prometheus-style text exposition of every metric layer.

@@ -136,3 +136,11 @@ class DeleteStmt:
 
     table: str
     where: list  # conjunction of Comparison | Between (empty = all rows)
+
+
+@dataclass(frozen=True)
+class ExplainIndexStmt:
+    """EXPLAIN INDEX table(col): the cracker-index introspection surface."""
+
+    table: str
+    column: str

@@ -16,6 +16,7 @@ KEYWORDS = {
     "values", "create", "table", "group", "by", "between", "limit",
     "order", "asc", "desc", "update", "set", "delete",
     "integer", "int", "float", "real", "text", "varchar", "as",
+    "explain", "index",
 }
 
 SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", ".", ";")

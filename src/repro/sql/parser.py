@@ -12,6 +12,7 @@ from repro.sql.ast_nodes import (
     Const,
     CreateTableStmt,
     DeleteStmt,
+    ExplainIndexStmt,
     InsertSelectStmt,
     InsertValuesStmt,
     OrderItem,
@@ -99,6 +100,8 @@ def parse(sql: str, tokens: list[Token] | None = None):
         stmt = _parse_update(cursor)
     elif token.kind == "keyword" and token.value == "delete":
         stmt = _parse_delete(cursor)
+    elif token.kind == "keyword" and token.value == "explain":
+        stmt = _parse_explain(cursor)
     else:
         raise SQLSyntaxError(f"cannot parse statement starting with {token.value!r}")
     cursor.accept("symbol", ";")
@@ -333,6 +336,21 @@ def _parse_assignment(cursor: _Cursor) -> Assignment:
     cursor.expect("symbol", "=")
     value = _parse_const(cursor)
     return Assignment(column=column, value=value)
+
+
+def _parse_explain(cursor: _Cursor) -> ExplainIndexStmt:
+    """EXPLAIN INDEX table(col).
+
+    (EXPLAIN ANALYZE never reaches the parser: the session strips that
+    prefix before lexing and traces the wrapped statement instead.)
+    """
+    cursor.expect("keyword", "explain")
+    cursor.expect("keyword", "index")
+    table = cursor.expect("ident").value
+    cursor.expect("symbol", "(")
+    column = cursor.expect("ident").value
+    cursor.expect("symbol", ")")
+    return ExplainIndexStmt(table=table, column=column)
 
 
 def _parse_delete(cursor: _Cursor) -> DeleteStmt:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.cracked_column import CrackedColumn
 from repro.core.rwlock import ReadWriteLock
+from repro.obs import introspect as obs_introspect
 from repro.obs import trace as obs_trace
 from repro.core.sharded_column import ShardedCrackedColumn, ShardedSelectionResult
 from repro.errors import PlanError
@@ -159,6 +160,10 @@ class CrackerProvider:
         crack_threshold: piece-size crack cut-off forwarded to every
             cracked column (0 = always crack; see
             :class:`~repro.core.cracked_column.CrackedColumn`).
+        profile: attach a
+            :class:`~repro.obs.introspect.ColumnIntrospection` to every
+            cracked column at registration, recording crack lineage and
+            profiling each range predicate against the cost model.
     """
 
     def __init__(
@@ -167,6 +172,7 @@ class CrackerProvider:
         parallel: bool = True,
         snapshot_results: bool = False,
         crack_threshold: int = 0,
+        profile: bool = False,
     ) -> None:
         if shards < 1:
             raise PlanError(f"shard count must be >= 1, got {shards}")
@@ -178,9 +184,22 @@ class CrackerProvider:
         self.parallel = parallel
         self.snapshot_results = snapshot_results
         self.crack_threshold = crack_threshold
+        self.profile = profile
         self._columns: dict[tuple[str, str], CrackedColumn | ShardedCrackedColumn] = {}
         self._locks: dict[tuple[str, str], ReadWriteLock] = {}
+        self._introspections: dict[
+            tuple[str, str], obs_introspect.ColumnIntrospection
+        ] = {}
         self._registry_lock = threading.Lock()
+
+    def _attach_introspection(self, key: tuple[str, str], column) -> None:
+        """Build and attach one introspection object (registry lock held)."""
+        table, attr = key
+        introspection = obs_introspect.ColumnIntrospection(
+            f"{table}.{attr}", *obs_introspect.value_domain(column)
+        )
+        obs_introspect.attach(column, introspection)
+        self._introspections[key] = introspection
 
     def column_for(
         self, relation: Relation, attr: str
@@ -235,6 +254,8 @@ class CrackerProvider:
                         )
                     self._columns[key] = column
                     self._locks[key] = ReadWriteLock()
+                    if self.profile:
+                        self._attach_introspection(key, column)
         return column
 
     def lock_for(self, table: str, attr: str) -> ReadWriteLock:
@@ -298,26 +319,71 @@ class CrackerProvider:
         low_inclusive: bool, high_inclusive: bool,
     ):
         """The locking core of :meth:`range_select`."""
+        introspect = column.introspect
         if isinstance(column, ShardedCrackedColumn):
-            return column.range_select(
+            if introspect is None:
+                return column.range_select(
+                    low,
+                    high,
+                    low_inclusive=low_inclusive,
+                    high_inclusive=high_inclusive,
+                    snapshot=self.snapshot_results,
+                )
+            # Aggregate stats recompute over shards; deltas are advisory
+            # under concurrency (each shard's own recorders stay exact).
+            before = column.crack_stats
+            touched_before = before.tuples_touched
+            moved_before = before.tuples_moved
+            result = column.range_select(
                 low,
                 high,
                 low_inclusive=low_inclusive,
                 high_inclusive=high_inclusive,
                 snapshot=self.snapshot_results,
             )
+            after = column.crack_stats
+            introspect.record_query(
+                low,
+                high,
+                result.count,
+                after.tuples_touched - touched_before,
+                after.tuples_moved - moved_before,
+                len(column),
+            )
+            return result
         lock = self.lock_for(table, attr)
         # Direct acquire/release: the contextmanager-based write_locked()
         # costs a generator frame per query, measurable on the sustained
         # hot path.
         lock.acquire_write()
         try:
-            result = column.range_select(
-                low,
-                high,
-                low_inclusive=low_inclusive,
-                high_inclusive=high_inclusive,
-            )
+            if introspect is None:
+                result = column.range_select(
+                    low,
+                    high,
+                    low_inclusive=low_inclusive,
+                    high_inclusive=high_inclusive,
+                )
+            else:
+                # CrackStats is mutated in place by the kernels, so one
+                # binding suffices for before/after deltas.
+                stats = column.crack_stats
+                touched_before = stats.tuples_touched
+                moved_before = stats.tuples_moved
+                result = column.range_select(
+                    low,
+                    high,
+                    low_inclusive=low_inclusive,
+                    high_inclusive=high_inclusive,
+                )
+                introspect.record_query(
+                    low,
+                    high,
+                    result.count,
+                    stats.tuples_touched - touched_before,
+                    stats.tuples_moved - moved_before,
+                    len(column),
+                )
             if self.snapshot_results:
                 result = result.snapshot()
         finally:
@@ -344,6 +410,8 @@ class CrackerProvider:
                 )
             self._columns[key] = column
             self._locks.setdefault(key, ReadWriteLock())
+            if self.profile:
+                self._attach_introspection(key, column)
 
     def has_column(self, table: str, attr: str) -> bool:
         with self._registry_lock:
@@ -465,6 +533,18 @@ class CrackerProvider:
             for key in stale:
                 del self._columns[key]
                 self._locks.pop(key, None)
+                self._introspections.pop(key, None)
+
+    def introspection_for(self, table: str, attr: str):
+        """The column's introspection object, or None (profiler off /
+        column never touched)."""
+        with self._registry_lock:
+            return self._introspections.get((table, attr))
+
+    def introspections(self) -> dict[tuple[str, str], object]:
+        """Snapshot of every attached introspection object."""
+        with self._registry_lock:
+            return dict(self._introspections)
 
 
 

@@ -15,6 +15,7 @@ Example::
 
 from __future__ import annotations
 
+import itertools
 import re
 import threading
 import time
@@ -25,12 +26,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import PersistError, SQLAnalysisError
+from repro.obs import introspect as obs_introspect
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.sql.analyzer import AnalyzedDML, AnalyzedQuery, analyze, analyze_dml
 from repro.sql.ast_nodes import (
     CreateTableStmt,
     DeleteStmt,
+    ExplainIndexStmt,
     InsertSelectStmt,
     InsertValuesStmt,
     SelectStmt,
@@ -96,6 +99,13 @@ def _statement_kind(sql: str) -> str:
         if not char.isspace():
             return _KIND_BY_CHAR.get(char.lower(), "other")
     return "other"
+
+
+def _explain_number(value) -> str:
+    """Render one EXPLAIN INDEX detail value (floats abbreviated)."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
 
 
 @dataclass
@@ -176,6 +186,14 @@ class Database:
     statement slower than that threshold — with its span breakdown —
     to :meth:`slow_query_log`.  :meth:`stats` bundles everything into
     one nested dict (the STATS payload of the network server).
+
+    ``profile=True`` (with cracking on) attaches a
+    :class:`~repro.obs.introspect.ColumnIntrospection` to every cracked
+    column: a bounded live lineage log of each crack/merge decision, a
+    predicate-range workload histogram and a cost-model convergence
+    curve.  Surfaced by ``EXPLAIN INDEX <table>(<col>)`` and the
+    ``workload``/``lineage``/``convergence`` keys of :meth:`stats`;
+    off by default (each hook site then costs one attribute check).
     """
 
     #: Bound on the in-memory slow-query log (oldest entries drop).
@@ -197,6 +215,7 @@ class Database:
         metrics: bool = True,
         trace: bool = False,
         slow_query_ms: float | None = None,
+        profile: bool = False,
     ) -> None:
         if mode not in PLAN_MODES:
             raise SQLAnalysisError(
@@ -216,10 +235,14 @@ class Database:
                 shards=shards,
                 snapshot_results=concurrent,
                 crack_threshold=crack_threshold,
+                profile=profile,
             )
             if cracking
             else None
         )
+        # Index introspection: only meaningful with a cracker to profile.
+        self._profile = cracking and profile
+        self._statement_counter = itertools.count(1)
         # Always constructed: epoch bookkeeping must run even with the
         # statement cache off, so prepared statements stay validatable.
         self._plan_cache = PlanCache(enabled=plan_cache)
@@ -240,6 +263,21 @@ class Database:
         # the hot path never does a registry lookup.
         self.metrics = MetricsRegistry(enabled=metrics)
         self.metrics.register_collector(self._collect_engine_samples)
+        # Exposition HELP text for the collector-produced gauges (they
+        # never pass through counter()/gauge(), so describe() is the
+        # only way to attach documentation to them).
+        for metric_name, help_text in (
+            ("repro_cracker_pieces", "Pieces in the column's cracker index"),
+            ("repro_cracker_cracks", "Crack operations performed so far"),
+            ("repro_cracker_tuples_moved", "Tuples moved by crack kernels"),
+            ("repro_cracker_pending_inserts",
+             "Inserted tuples awaiting merge-on-query"),
+            ("repro_cracker_pending_deletes",
+             "Tombstoned tuples awaiting merge-on-query"),
+            ("repro_plan_cache_hits", "Exact plan-cache hits"),
+            ("repro_wal_bytes", "Write-ahead log size in bytes"),
+        ):
+            self.metrics.describe(metric_name, help_text)
         self._metrics_on = metrics
         self._trace_statements = trace
         self._slow_query_ms = slow_query_ms
@@ -289,6 +327,14 @@ class Database:
             if match is not None:
                 return self.explain_analyze(sql[match.end():], mode=mode)
         started = time.perf_counter() if self._metrics_on else 0.0
+        # With the profiler on, tag this context so lineage events can
+        # name the statement that triggered each reorganisation.  The
+        # tag is set-only (no reset): every profiled execute overwrites
+        # it, and a stale id after an exception is harmless, so the
+        # disabled path stays a single branch and the enabled path
+        # skips a ContextVar reset per statement.
+        if self._profile:
+            obs_introspect.set_statement_id(next(self._statement_counter))
         if self._trace_statements or self._slow_query_ms is not None:
             result = self._execute_traced(sql, mode)
         else:
@@ -363,7 +409,8 @@ class Database:
         hist = self._stmt_hists.get(kind)
         if hist is None:
             hist = self.metrics.histogram(
-                "repro_statement_seconds", {"kind": kind}
+                "repro_statement_seconds", {"kind": kind},
+                description="Statement latency in seconds by statement kind",
             )
             self._stmt_hists[kind] = hist
         hist.observe(elapsed)
@@ -387,7 +434,10 @@ class Database:
         }
         with self._slow_lock:
             self._slow_log.append(record)
-        self.metrics.counter("repro_slow_statements_total").inc()
+        self.metrics.counter(
+            "repro_slow_statements_total",
+            description="Statements slower than the slow-query threshold",
+        ).inc()
 
     def _dispatch_statement(
         self, stmt, sql: str, mode: str | None
@@ -439,6 +489,8 @@ class Database:
                     result = self._execute_update(stmt)
                 elif isinstance(stmt, DeleteStmt):
                     result = self._execute_delete(stmt)
+                elif isinstance(stmt, ExplainIndexStmt):
+                    result = self._explain_index(stmt)
                 else:
                     result = self._execute_select(stmt, mode=mode)
                 if mutates:
@@ -924,6 +976,117 @@ class Database:
         """Hit/miss/invalidation counters of the statement cache."""
         return self._plan_cache.stats()
 
+    _EXPLAIN_INDEX_COLUMNS = ["section", "entry", "detail"]
+
+    def _explain_index(self, stmt: ExplainIndexStmt) -> QueryResult:
+        """EXPLAIN INDEX table(col): the cracker index narrated as rows.
+
+        Always returns rows — engines without cracking, columns no query
+        has touched and databases without the profiler each get a status
+        row saying so instead of an error, so monitoring scripts can
+        probe any configuration with the same statement.  Unknown tables
+        and columns still raise, like any other statement.
+        """
+        with self._catalog_lock:
+            relation = self.catalog.table(stmt.table)
+            if stmt.column not in relation.schema.names():
+                raise SQLAnalysisError(
+                    f"table {stmt.table!r} has no column {stmt.column!r}"
+                )
+        rows: list[tuple] = []
+        if self._cracker is None:
+            rows.append(("index", "status", "cracking off: no cracker index"))
+            return QueryResult(columns=list(self._EXPLAIN_INDEX_COLUMNS), rows=rows)
+        column = self._cracker.columns().get((stmt.table, stmt.column))
+        if column is None:
+            rows.append((
+                "index", "status",
+                "not cracked yet: no range predicate has touched this column",
+            ))
+            return QueryResult(columns=list(self._EXPLAIN_INDEX_COLUMNS), rows=rows)
+        with self._cracker.lock_for(stmt.table, stmt.column).read_locked():
+            info = column.observability()
+        rows.append(("index", "status", "cracked"))
+        for key in sorted(info):
+            value = info[key]
+            if isinstance(value, dict):
+                detail = " ".join(
+                    f"{k}={_explain_number(v)}" for k, v in sorted(value.items())
+                )
+            elif isinstance(value, (list, tuple)):
+                detail = " ".join(_explain_number(v) for v in value)
+            else:
+                detail = _explain_number(value)
+            rows.append(("index", key, detail))
+        introspection = self._cracker.introspection_for(stmt.table, stmt.column)
+        if introspection is None:
+            rows.append((
+                "profiler", "status",
+                "off: enable with Database(profile=True)",
+            ))
+            return QueryResult(columns=list(self._EXPLAIN_INDEX_COLUMNS), rows=rows)
+        snap = introspection.snapshot()
+        lineage = snap["lineage"]
+        rows.append((
+            "lineage", "events",
+            f"{lineage['total_events']} total, "
+            f"last {len(lineage['events'])} retained "
+            f"(capacity {lineage['capacity']})",
+        ))
+        rows.append((
+            "lineage", "op_counts",
+            " ".join(
+                f"{op}={count}" for op, count in sorted(lineage["op_counts"].items())
+            ) or "none",
+        ))
+        for event in lineage["events"][-16:]:
+            if "bounds" in event:
+                detail = (
+                    f"bounds={event['bounds']} pieces={event['pieces']} "
+                    f"moved={event['moved']} stmt={event['statement']}"
+                )
+            else:
+                detail = f"tuples={event['tuples']} stmt={event['statement']}"
+            rows.append(("lineage", f"#{event['seq']} {event['op']}", detail))
+        workload = snap["workload"]
+        rows.append(("workload", "queries", str(workload["queries"])))
+        rows.append((
+            "workload", "domain",
+            f"[{_explain_number(workload['domain'][0])}, "
+            f"{_explain_number(workload['domain'][1])}] "
+            f"bucket_width={_explain_number(workload['bucket_width'])}",
+        ))
+        rows.append((
+            "workload", "histogram",
+            " ".join(str(count) for count in workload["histogram"]),
+        ))
+        rows.append((
+            "workload", "selectivity",
+            f"mean={_explain_number(workload['selectivity']['mean'])} "
+            f"last={_explain_number(workload['selectivity']['last'])}",
+        ))
+        hot = workload["hot_range"]
+        if hot is not None:
+            rows.append((
+                "workload", "hot_range",
+                f"[{_explain_number(hot['low'])}, "
+                f"{_explain_number(hot['high'])}) x{hot['count']}",
+            ))
+        convergence = snap["convergence"]
+        rows.append(("convergence", "queries", str(convergence["queries"])))
+        for key in ("last", "recent_mean", "savings"):
+            rows.append((
+                "convergence", key,
+                "n/a" if convergence[key] is None
+                else _explain_number(convergence[key]),
+            ))
+        rows.append((
+            "convergence", "cost_totals",
+            f"crack={_explain_number(convergence['crack_cost_total'])} "
+            f"scan={_explain_number(convergence['scan_cost_total'])}",
+        ))
+        return QueryResult(columns=list(self._EXPLAIN_INDEX_COLUMNS), rows=rows)
+
     def stats(self) -> dict:
         """One nested dict unifying every stats surface of the engine.
 
@@ -935,8 +1098,11 @@ class Database:
         Keys: ``tables`` (name → live rows), ``crackers`` (``table.attr``
         → piece count), ``cracker_detail`` (per-column crack/pending/
         piece-size accounting, per-shard imbalance when sharded),
-        ``plan_cache``, ``persistence``, and ``metrics`` (the registry
-        snapshot with per-statement-kind latency histograms).
+        ``plan_cache``, ``persistence``, ``metrics`` (the registry
+        snapshot with per-statement-kind latency histograms), and the
+        profiler surfaces ``workload``/``lineage``/``convergence``
+        (``table.attr`` → introspection readout; empty dicts unless
+        ``profile=True``).
         """
         with self._catalog_lock:
             tables = {
@@ -946,6 +1112,14 @@ class Database:
         cracker_detail = (
             self._cracker.observability() if self._cracker is not None else {}
         )
+        workload: dict = {}
+        lineage: dict = {}
+        convergence: dict = {}
+        if self._profile and self._cracker is not None:
+            for introspection in self._cracker.introspections().values():
+                workload[introspection.name] = introspection.workload()
+                lineage[introspection.name] = introspection.lineage()
+                convergence[introspection.name] = introspection.convergence()
         return {
             "tables": tables,
             "crackers": {
@@ -955,6 +1129,9 @@ class Database:
             "plan_cache": self._plan_cache.stats(),
             "persistence": self.persistence_stats(),
             "metrics": self.metrics.snapshot(),
+            "workload": workload,
+            "lineage": lineage,
+            "convergence": convergence,
         }
 
     def _collect_engine_samples(self) -> list[tuple]:

@@ -214,8 +214,12 @@ class TestStatsSurface:
         stats = db.stats()
         assert set(stats) == {
             "tables", "crackers", "cracker_detail", "plan_cache",
-            "persistence", "metrics",
+            "persistence", "metrics", "workload", "lineage", "convergence",
         }
+        # Without profile=True the introspection views stay empty.
+        assert stats["workload"] == {}
+        assert stats["lineage"] == {}
+        assert stats["convergence"] == {}
         assert stats["tables"] == {"r": 300}
         # The scattered accessors are thin views of the same state.
         assert stats["crackers"]["r.a"] == db.piece_count("r", "a")
